@@ -1,0 +1,63 @@
+"""Core of the reproduction: the paper's contribution.
+
+* :mod:`repro.core.consistency` — tracking when each User regains consistency
+  after a service change (the raw data behind all Update Metrics).
+* :mod:`repro.core.metrics` — the NIST Update Metrics (Responsiveness,
+  Effectiveness, Efficiency) and the paper's Efficiency Degradation metric.
+* :mod:`repro.core.recovery` — the classification of recovery techniques
+  (Tables 1, 2 and 4 of the paper).
+* :mod:`repro.core.experiment` — the Section 5 experiment scenario
+  (one Manager, five Users, a service change, interface failures).
+* :mod:`repro.core.sweep` — failure-rate sweeps with replications.
+* :mod:`repro.core.results` / :mod:`repro.core.analysis` — aggregation into
+  the paper's figures and tables.
+"""
+
+from repro.core.consistency import ConsistencyTracker, UserViewRecord
+from repro.core.metrics import (
+    MetricSummary,
+    RunResult,
+    effectiveness,
+    efficiency_degradation,
+    relative_latencies,
+    responsiveness,
+    update_efficiency,
+)
+from repro.core.recovery import (
+    RecoveryTechnique,
+    UpdateScenario,
+    RecoveryCategory,
+    PROTOCOL_PROFILES,
+    ProtocolProfile,
+    techniques_for,
+)
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.results import SweepResults, SystemSeries
+from repro.core.analysis import average_metrics_table, metric_series
+
+__all__ = [
+    "ConsistencyTracker",
+    "UserViewRecord",
+    "MetricSummary",
+    "RunResult",
+    "effectiveness",
+    "efficiency_degradation",
+    "relative_latencies",
+    "responsiveness",
+    "update_efficiency",
+    "RecoveryTechnique",
+    "UpdateScenario",
+    "RecoveryCategory",
+    "PROTOCOL_PROFILES",
+    "ProtocolProfile",
+    "techniques_for",
+    "ExperimentConfig",
+    "run_experiment",
+    "SweepConfig",
+    "run_sweep",
+    "SweepResults",
+    "SystemSeries",
+    "average_metrics_table",
+    "metric_series",
+]

@@ -1,0 +1,185 @@
+"""Update Metrics (Section 4.5 of the paper).
+
+The metrics quantify consistency-maintenance performance against a failure
+rate lambda:
+
+* **Update Responsiveness** R(lambda) — the median, over runs i and Users j, of
+  ``1 - L(i, j, lambda)`` where ``L = (U - C) / (D - C)`` is the relative
+  change-propagation latency (C = change time, U = time the User regained
+  consistency, D = deadline).  A User that never regains consistency
+  contributes ``L = 1`` (responsiveness 0).
+* **Update Effectiveness** F(lambda) — the probability that a User regains
+  consistency before the deadline.
+* **Update Efficiency** E(lambda) — mean over runs of ``m / y`` where *m* is the
+  minimum number of update messages across all systems at 0 % failures
+  (m = 7, from the Jini and FRODO models) and *y* is the number of update
+  messages the system actually sent in that run.
+* **Efficiency Degradation** G(lambda) — the paper's modification of E: *m* is
+  replaced by the system's own zero-failure message count *m'*, so the metric
+  reflects how heavily each protocol must propagate messages as the failure
+  rate increases.
+
+Accounting notes (documented in EXPERIMENTS.md): *y* counts discovery-layer
+update-related messages sent at or after the change time; when a run sends no
+update messages at all (the Manager was cut off for the entire remainder of
+the run) its efficiency contribution is defined as 0, and ratios are capped
+at 1 so that a partially-failed propagation cannot look *better* than the
+failure-free baseline.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: The cross-system minimum number of update messages at 0 % failures
+#: ("m = 7 based on the Jini and FRODO models").
+PAPER_GLOBAL_MINIMUM_MESSAGES = 7
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything the metrics need from a single simulation run."""
+
+    system: str
+    failure_rate: float
+    seed: int
+    change_time: float
+    deadline: float
+    #: Per-User time of regaining consistency; ``None`` when never reached.
+    user_update_times: Dict[str, Optional[float]] = field(default_factory=dict)
+    #: *y* — update-related discovery-layer messages sent at or after the change.
+    update_message_count: int = 0
+    #: All discovery-layer messages sent during the run (reporting only).
+    total_discovery_messages: int = 0
+    #: TCP segments / acknowledgements sent during the run (reporting only).
+    transport_message_count: int = 0
+    #: Extra per-run diagnostics (e.g. message-kind histograms).
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_users(self) -> int:
+        """Number of measured Users."""
+        return len(self.user_update_times)
+
+    def latencies(self) -> List[float]:
+        """Relative change-propagation latencies L(i, j) for this run."""
+        window = self.deadline - self.change_time
+        if window <= 0:
+            raise ValueError("deadline must be after the change time")
+        out = []
+        for when in self.user_update_times.values():
+            if when is None or when >= self.deadline:
+                out.append(1.0)
+            else:
+                out.append(max(0.0, min(1.0, (when - self.change_time) / window)))
+        return out
+
+    def users_updated(self) -> int:
+        """Number of Users that regained consistency before the deadline."""
+        return sum(
+            1
+            for when in self.user_update_times.values()
+            if when is not None and when < self.deadline
+        )
+
+
+# --------------------------------------------------------------------------- helpers
+def relative_latencies(results: Sequence[RunResult]) -> List[float]:
+    """All L(i, j) values across runs (one entry per run x User)."""
+    values: List[float] = []
+    for result in results:
+        values.extend(result.latencies())
+    return values
+
+
+def responsiveness(results: Sequence[RunResult]) -> float:
+    """Update Responsiveness R: median of ``1 - L`` across runs and Users."""
+    latencies = relative_latencies(results)
+    if not latencies:
+        raise ValueError("no runs supplied")
+    return statistics.median(1.0 - latency for latency in latencies)
+
+
+def effectiveness(results: Sequence[RunResult]) -> float:
+    """Update Effectiveness F: fraction of (run, User) pairs updated before the deadline."""
+    total = 0
+    updated = 0
+    for result in results:
+        total += result.n_users
+        updated += result.users_updated()
+    if total == 0:
+        raise ValueError("no runs supplied")
+    return updated / total
+
+
+def _efficiency_ratio(numerator: int, y: int) -> float:
+    """``numerator / y`` with the conventions documented in the module docstring."""
+    if y <= 0:
+        return 0.0
+    return min(1.0, numerator / y)
+
+
+def update_efficiency(
+    results: Sequence[RunResult],
+    minimum_messages: int = PAPER_GLOBAL_MINIMUM_MESSAGES,
+) -> float:
+    """Update Efficiency E: mean of ``m / y`` over runs (m fixed across systems)."""
+    if not results:
+        raise ValueError("no runs supplied")
+    return statistics.fmean(
+        _efficiency_ratio(minimum_messages, result.update_message_count) for result in results
+    )
+
+
+def efficiency_degradation(results: Sequence[RunResult], m_prime: int) -> float:
+    """Efficiency Degradation G: mean of ``m' / y`` over runs (m' per system)."""
+    if not results:
+        raise ValueError("no runs supplied")
+    if m_prime <= 0:
+        raise ValueError("m_prime must be positive")
+    return statistics.fmean(
+        _efficiency_ratio(m_prime, result.update_message_count) for result in results
+    )
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """All four metrics evaluated over a set of runs at one failure rate."""
+
+    system: str
+    failure_rate: float
+    runs: int
+    responsiveness: float
+    effectiveness: float
+    update_efficiency: float
+    efficiency_degradation: float
+    mean_update_messages: float
+
+    @classmethod
+    def from_runs(
+        cls,
+        results: Sequence[RunResult],
+        m_prime: int,
+        minimum_messages: int = PAPER_GLOBAL_MINIMUM_MESSAGES,
+    ) -> "MetricSummary":
+        """Compute every metric over ``results`` (all from one system and failure rate)."""
+        if not results:
+            raise ValueError("no runs supplied")
+        systems = {result.system for result in results}
+        rates = {result.failure_rate for result in results}
+        if len(systems) != 1 or len(rates) != 1:
+            raise ValueError("MetricSummary.from_runs expects runs from one (system, rate) cell")
+        return cls(
+            system=next(iter(systems)),
+            failure_rate=next(iter(rates)),
+            runs=len(results),
+            responsiveness=responsiveness(results),
+            effectiveness=effectiveness(results),
+            update_efficiency=update_efficiency(results, minimum_messages),
+            efficiency_degradation=efficiency_degradation(results, m_prime),
+            mean_update_messages=statistics.fmean(
+                result.update_message_count for result in results
+            ),
+        )

@@ -1,0 +1,277 @@
+"""Classification of consistency-maintenance recovery techniques.
+
+This module encodes Tables 1, 2 and 4 of the paper as queryable data:
+
+* **Subscription-recovery** techniques take effect while the subscription
+  lease is still valid:
+
+  - SRC1 — acknowledgements and unbounded retransmission of critical-update
+    notifications,
+  - SRC2 — active User/Registry monitoring of updates (sequence numbers or
+    expected periods) with explicit re-requests for missed updates,
+  - SRN1 — acknowledgements and bounded retransmission of non-critical
+    update notifications,
+  - SRN2 — future retry of an unsuccessful notification when a message
+    (e.g. a subscription-lease renewal) arrives from the inconsistent User.
+
+* **Purge-rediscovery** techniques take effect after the subscription lease
+  expires:
+
+  - PR1 — the Manager and the Registry rediscover each other (announcements);
+    on re-registration the Registry notifies interested Users,
+  - PR2 — the User rediscovers the Registry and queries it for the service,
+  - PR3 — the Registry rediscovers (hears from) a purged User and requests
+    resubscription,
+  - PR4 — the Manager rediscovers (hears from) a purged User and requests
+    resubscription,
+  - PR5 — the User purges the Manager and rediscovers it through multicast
+    queries, Manager announcements, or a unicast query to the Registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+
+class RecoveryCategory(str, Enum):
+    """Top-level split of Table 1."""
+
+    SUBSCRIPTION_RECOVERY = "subscription-recovery"
+    PURGE_REDISCOVERY = "purge-rediscovery"
+
+
+class UpdateScenario(str, Enum):
+    """Update scenarios for subscription-recovery techniques."""
+
+    CRITICAL = "critical"
+    NON_CRITICAL = "non-critical"
+
+
+class RecoveryTechnique(str, Enum):
+    """All recovery techniques defined by the paper."""
+
+    SRC1 = "SRC1"
+    SRC2 = "SRC2"
+    SRN1 = "SRN1"
+    SRN2 = "SRN2"
+    PR1 = "PR1"
+    PR2 = "PR2"
+    PR3 = "PR3"
+    PR4 = "PR4"
+    PR5 = "PR5"
+
+    @property
+    def category(self) -> RecoveryCategory:
+        """Whether this is a subscription-recovery or a purge-rediscovery technique."""
+        if self.value.startswith("SR"):
+            return RecoveryCategory.SUBSCRIPTION_RECOVERY
+        return RecoveryCategory.PURGE_REDISCOVERY
+
+    @property
+    def update_scenario(self) -> Optional[UpdateScenario]:
+        """The update scenario a subscription-recovery technique applies to."""
+        if self in (RecoveryTechnique.SRC1, RecoveryTechnique.SRC2):
+            return UpdateScenario.CRITICAL
+        if self in (RecoveryTechnique.SRN1, RecoveryTechnique.SRN2):
+            return UpdateScenario.NON_CRITICAL
+        return None
+
+
+#: Human-readable descriptions of each technique (Table 1 and Section 4.3).
+TECHNIQUE_DESCRIPTIONS: Dict[RecoveryTechnique, str] = {
+    RecoveryTechnique.SRC1: (
+        "Critical updates: acknowledgements and retransmissions of notifications "
+        "with no retransmission limit (stop only on subscription expiry, "
+        "acknowledgement, or loss of connectivity)."
+    ),
+    RecoveryTechnique.SRC2: (
+        "Critical updates: active User and Registry monitoring of update sequence "
+        "numbers / expected update times; missed updates are explicitly requested."
+    ),
+    RecoveryTechnique.SRN1: (
+        "Non-critical updates: acknowledgements and bounded retransmissions of "
+        "notifications (stop on retry limit, ack, expiry, connectivity loss, or a "
+        "newer change)."
+    ),
+    RecoveryTechnique.SRN2: (
+        "Non-critical updates: the Manager caches inconsistent Users and retries "
+        "the notification when a message (e.g. a subscription renewal) arrives "
+        "from such a User."
+    ),
+    RecoveryTechnique.PR1: (
+        "Manager and Registry purge each other: rediscovery through periodic "
+        "announcements; on re-registration the Registry notifies interested Users."
+    ),
+    RecoveryTechnique.PR2: (
+        "User purges the Registry: rediscovery through announcements, then the "
+        "User queries the Registry for the service."
+    ),
+    RecoveryTechnique.PR3: (
+        "Registry purges the User: a later lease renewal triggers resubscription, "
+        "whose response carries the updated service description."
+    ),
+    RecoveryTechnique.PR4: (
+        "Manager purges the User: a later message from the User triggers "
+        "resubscription, whose response carries the updated service description."
+    ),
+    RecoveryTechnique.PR5: (
+        "User purges the Manager: rediscovery through multicast queries, Manager "
+        "announcements, or a unicast query to the Registry."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """Consistency-maintenance profile of a protocol (a row of Table 2/Table 4)."""
+
+    name: str
+    subscription_model: str
+    techniques: FrozenSet[RecoveryTechnique]
+    #: Techniques provided only through TCP's reliability (not by the protocol itself).
+    tcp_dependent: FrozenSet[RecoveryTechnique] = frozenset()
+    #: Zero-failure update message count m' for the standard scenario (N = 5 Users).
+    m_prime: int = 7
+    notes: str = ""
+
+    def implements(self, technique: RecoveryTechnique) -> bool:
+        """``True`` when the protocol implements ``technique`` (natively or via TCP)."""
+        return technique in self.techniques
+
+    def implements_natively(self, technique: RecoveryTechnique) -> bool:
+        """``True`` when the protocol implements ``technique`` without relying on TCP."""
+        return technique in self.techniques and technique not in self.tcp_dependent
+
+
+def expected_update_messages(system: str, n_users: int, with_tcp: bool = False, registries: int = 1) -> int:
+    """Table 2's closed-form update message counts for N Users, 1 Manager.
+
+    ``system`` is one of ``"upnp"``, ``"jini"`` or ``"frodo"``.  For Jini,
+    ``registries`` scales the count as ``y (2N + 2)`` when TCP messages are
+    included (and ``registries * (N + 2)`` without).
+    """
+    if n_users < 0:
+        raise ValueError("n_users must be non-negative")
+    system = system.lower()
+    if system == "upnp":
+        return 5 * n_users if with_tcp else 3 * n_users
+    if system == "jini":
+        per_registry = (2 * n_users + 2) if with_tcp else (n_users + 2)
+        return registries * per_registry
+    if system == "frodo":
+        return n_users + 2
+    raise ValueError(f"unknown system {system!r}")
+
+
+#: Table 2 / Table 4: which techniques each modelled system employs.
+PROTOCOL_PROFILES: Dict[str, ProtocolProfile] = {
+    "upnp": ProtocolProfile(
+        name="UPnP",
+        subscription_model="2-party",
+        techniques=frozenset(
+            {
+                RecoveryTechnique.SRC1,
+                RecoveryTechnique.SRN1,
+                RecoveryTechnique.PR4,
+                RecoveryTechnique.PR5,
+            }
+        ),
+        tcp_dependent=frozenset({RecoveryTechnique.SRC1, RecoveryTechnique.SRN1}),
+        m_prime=15,
+        notes="Invalidation-based notification; Users poll back for the update.",
+    ),
+    "jini1": ProtocolProfile(
+        name="Jini (1 Registry)",
+        subscription_model="3-party",
+        techniques=frozenset(
+            {
+                RecoveryTechnique.SRC1,
+                RecoveryTechnique.SRC2,
+                RecoveryTechnique.SRN1,
+                RecoveryTechnique.PR1,
+                RecoveryTechnique.PR2,
+                RecoveryTechnique.PR3,
+            }
+        ),
+        tcp_dependent=frozenset({RecoveryTechnique.SRC1, RecoveryTechnique.SRN1}),
+        m_prime=7,
+        notes="PR1 only covers future registrations; PR2 compensates with queries.",
+    ),
+    "jini2": ProtocolProfile(
+        name="Jini (2 Registries)",
+        subscription_model="3-party",
+        techniques=frozenset(
+            {
+                RecoveryTechnique.SRC1,
+                RecoveryTechnique.SRC2,
+                RecoveryTechnique.SRN1,
+                RecoveryTechnique.PR1,
+                RecoveryTechnique.PR2,
+                RecoveryTechnique.PR3,
+            }
+        ),
+        tcp_dependent=frozenset({RecoveryTechnique.SRC1, RecoveryTechnique.SRN1}),
+        m_prime=14,
+        notes="Redundant Registries double the update traffic.",
+    ),
+    "frodo3": ProtocolProfile(
+        name="FRODO (3-party subscription)",
+        subscription_model="3-party",
+        techniques=frozenset(
+            {
+                RecoveryTechnique.SRC1,
+                RecoveryTechnique.SRC2,
+                RecoveryTechnique.SRN1,
+                RecoveryTechnique.SRN2,
+                RecoveryTechnique.PR1,
+                RecoveryTechnique.PR3,
+                RecoveryTechnique.PR5,
+            }
+        ),
+        m_prime=7,
+        notes="UDP-only; the Central notifies interested Users of existing registrations.",
+    ),
+    "frodo2": ProtocolProfile(
+        name="FRODO (2-party subscription)",
+        subscription_model="2-party",
+        techniques=frozenset(
+            {
+                RecoveryTechnique.SRC1,
+                RecoveryTechnique.SRC2,
+                RecoveryTechnique.SRN1,
+                RecoveryTechnique.SRN2,
+                RecoveryTechnique.PR1,
+                RecoveryTechnique.PR4,
+                RecoveryTechnique.PR5,
+            }
+        ),
+        m_prime=7,
+        notes="300D Managers notify subscribed Users directly; SRN2 retries on renewals.",
+    ),
+}
+
+
+def techniques_for(system: str) -> FrozenSet[RecoveryTechnique]:
+    """Return the set of recovery techniques implemented by ``system``."""
+    try:
+        return PROTOCOL_PROFILES[system].techniques
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown system {system!r}; known systems: {sorted(PROTOCOL_PROFILES)}"
+        ) from exc
+
+
+def taxonomy_table() -> List[Tuple[str, str, str]]:
+    """A flat rendering of Table 1: (technique, category, description)."""
+    rows = []
+    for technique in RecoveryTechnique:
+        rows.append(
+            (
+                technique.value,
+                technique.category.value,
+                TECHNIQUE_DESCRIPTIONS[technique],
+            )
+        )
+    return rows

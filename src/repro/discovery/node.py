@@ -1,0 +1,157 @@
+"""Base machinery for protocol nodes.
+
+Every FRODO / Jini / UPnP entity (User, Manager, Registry) derives from
+:class:`DiscoveryNode`, which ties together:
+
+* an :class:`~repro.net.interfaces.Endpoint` on the shared network,
+* the transports the protocol uses (UDP, TCP, multicast),
+* message dispatch: an incoming message of kind ``"foo_bar"`` is routed to
+  the method ``handle_foo_bar(message)`` if it exists,
+* trace helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.addressing import Address, MULTICAST_GROUP
+from repro.net.interfaces import Endpoint
+from repro.net.messages import Message
+from repro.net.multicast import MulticastService
+from repro.net.network import Network
+from repro.net.tcp import RemoteException, TcpTransport
+from repro.net.udp import UdpTransport
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+class NodeRole(str, Enum):
+    """The three entity types of a service discovery protocol."""
+
+    USER = "user"
+    MANAGER = "manager"
+    REGISTRY = "registry"
+
+
+@dataclass
+class Transports:
+    """The transports available to a protocol node."""
+
+    udp: Optional[UdpTransport] = None
+    tcp: Optional[TcpTransport] = None
+    multicast: Optional[MulticastService] = None
+
+
+class DiscoveryNode(Process):
+    """Common base class for all protocol entities."""
+
+    #: Protocol tag stamped on every message this node sends ("frodo", "jini", "upnp").
+    protocol: str = "generic"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Address,
+        role: NodeRole,
+        transports: Transports,
+    ) -> None:
+        super().__init__(sim, node_id)
+        self.network = network
+        self.node_id = node_id
+        self.role = role
+        self.transports = transports
+        self.endpoint = Endpoint(node_id, handler=self._on_message)
+        network.join(self.endpoint)
+
+    # ------------------------------------------------------------------ sending
+    def make_message(
+        self,
+        receiver: Address,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        update_related: bool = False,
+    ) -> Message:
+        """Construct a message originating at this node."""
+        return Message(
+            sender=self.node_id,
+            receiver=receiver,
+            protocol=self.protocol,
+            kind=kind,
+            payload=dict(payload or {}),
+            update_related=update_related,
+        )
+
+    def send_udp(
+        self,
+        receiver: Address,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        update_related: bool = False,
+    ) -> Message:
+        """Send a unicast UDP datagram; returns the message object."""
+        if self.transports.udp is None:
+            raise RuntimeError(f"{self.node_id}: UDP transport not configured")
+        message = self.make_message(receiver, kind, payload, update_related)
+        self.transports.udp.send(message)
+        return message
+
+    def send_tcp(
+        self,
+        receiver: Address,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        update_related: bool = False,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+        on_rex: Optional[Callable[[RemoteException], None]] = None,
+    ) -> Message:
+        """Send a message over reliable TCP; returns the message object."""
+        if self.transports.tcp is None:
+            raise RuntimeError(f"{self.node_id}: TCP transport not configured")
+        message = self.make_message(receiver, kind, payload, update_related)
+        self.transports.tcp.send(message, on_delivered=on_delivered, on_rex=on_rex)
+        return message
+
+    def send_multicast(
+        self,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        update_related: bool = False,
+        copies: Optional[int] = None,
+    ) -> Message:
+        """Multicast a message to every other node; returns the message object."""
+        if self.transports.multicast is None:
+            raise RuntimeError(f"{self.node_id}: multicast transport not configured")
+        message = self.make_message(MULTICAST_GROUP, kind, payload, update_related)
+        self.transports.multicast.announce(message, copies=copies)
+        return message
+
+    # ------------------------------------------------------------------ receiving
+    def _on_message(self, message: Message) -> None:
+        if self.stopped:
+            return
+        handler = getattr(self, f"handle_{message.kind}", None)
+        if handler is None:
+            self.on_unhandled(message)
+            return
+        handler(message)
+
+    def on_unhandled(self, message: Message) -> None:
+        """Hook for messages without a dedicated handler (ignored by default)."""
+        self.trace("unhandled_message", kind=message.kind, sender=message.sender)
+
+    # ------------------------------------------------------------------ interface state
+    @property
+    def can_send(self) -> bool:
+        """``True`` when this node's transmitter is up."""
+        return self.endpoint.interface.can_send()
+
+    @property
+    def can_receive(self) -> bool:
+        """``True`` when this node's receiver is up."""
+        return self.endpoint.interface.can_receive()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.node_id} ({self.role.value})>"

@@ -1,0 +1,90 @@
+"""Service descriptions and queries.
+
+A service description (SD) describes a service in terms of device type,
+service type and an attribute list (Section 1 of the paper), for example::
+
+    SD = {DeviceType=Printer, ServiceType=ColorPrinter,
+          AttributeList{PaperSize=A4, Location=Study}}
+
+Any change to the structure or to an attribute-value pair produces a new
+*version* of the SD; consistency maintenance is about propagating the newest
+version to all interested Users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """Immutable snapshot of a service at a particular version."""
+
+    service_id: str
+    manager_id: str
+    device_type: str
+    service_type: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        # Freeze the attribute mapping so cached copies cannot be mutated in place.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def with_update(
+        self,
+        service_type: Optional[str] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> "ServiceDescription":
+        """Return the next version of this SD with the given fields changed."""
+        new_attrs: Dict[str, Any] = dict(self.attributes)
+        if attributes:
+            new_attrs.update(attributes)
+        return replace(
+            self,
+            service_type=service_type if service_type is not None else self.service_type,
+            attributes=new_attrs,
+            version=self.version + 1,
+        )
+
+    def is_newer_than(self, other: Optional["ServiceDescription"]) -> bool:
+        """``True`` when this SD supersedes ``other`` (or ``other`` is ``None``)."""
+        if other is None:
+            return True
+        return self.version > other.version
+
+    def summary(self) -> str:
+        """Short human-readable description."""
+        return (
+            f"{self.service_id} v{self.version} ({self.device_type}/{self.service_type})"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceQuery:
+    """A User's requirements for the services it needs."""
+
+    device_type: Optional[str] = None
+    service_type: Optional[str] = None
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def matches(self, sd: ServiceDescription) -> bool:
+        """``True`` when ``sd`` satisfies every constraint of the query.
+
+        Attribute constraints are matched exactly; the service type is *not*
+        required to match attribute changes (a query for a printer still
+        matches after its service type changes), so only the device type and
+        explicitly constrained attributes are compared by default.
+        """
+        if self.device_type is not None and sd.device_type != self.device_type:
+            return False
+        if self.service_type is not None and sd.service_type != self.service_type:
+            return False
+        for key, value in self.attributes.items():
+            if sd.attributes.get(key) != value:
+                return False
+        return True

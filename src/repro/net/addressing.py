@@ -1,0 +1,28 @@
+"""Addressing helpers.
+
+Nodes are addressed by plain string identifiers (e.g. ``"user-3"``,
+``"registry-1"``).  A single logical multicast group is modelled, matching
+the paper's local-area-network setting where every node receives every
+multicast announcement (subject to its receiver interface being up).
+"""
+
+from __future__ import annotations
+
+Address = str
+
+#: The single multicast group used by announcements and multicast queries.
+MULTICAST_GROUP: Address = "<multicast>"
+
+
+def is_multicast(address: Address) -> bool:
+    """Return ``True`` when ``address`` denotes the multicast group."""
+    return address == MULTICAST_GROUP
+
+
+def validate_address(address: Address) -> Address:
+    """Validate a unicast address (non-empty, not the multicast group)."""
+    if not isinstance(address, str) or not address:
+        raise ValueError(f"invalid address: {address!r}")
+    if address == MULTICAST_GROUP:
+        raise ValueError("the multicast group is not a valid unicast address")
+    return address

@@ -1,0 +1,131 @@
+"""Interface-failure injection (Section 5, Step 2).
+
+For each node the transmitter, the receiver, or both are failed once per run:
+the outage begins at a random time drawn uniformly from [100 s, 5400 s] and
+lasts for a fraction ``failure_rate`` of the 5400 s run.  Failing only one
+direction models a communication failure (the node can still send but not
+receive, or vice versa); failing both models a node failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.net.addressing import Address
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.engine import Simulator
+
+#: The three outage modes and how they map onto interface directions.
+FAILURE_MODES: Dict[str, Dict[str, bool]] = {
+    "tx": {"tx": True, "rx": False},
+    "rx": {"tx": False, "rx": True},
+    "both": {"tx": True, "rx": True},
+}
+
+
+@dataclass(frozen=True)
+class InterfaceOutage:
+    """One contiguous outage of a node's transmitter and/or receiver."""
+
+    node: Address
+    start: float
+    duration: float
+    mode: str  # "tx", "rx" or "both"
+
+    @property
+    def end(self) -> float:
+        """Time at which the interface is restored."""
+        return self.start + self.duration
+
+    @property
+    def fails_tx(self) -> bool:
+        """``True`` when the transmitter is down during the outage."""
+        return FAILURE_MODES[self.mode]["tx"]
+
+    @property
+    def fails_rx(self) -> bool:
+        """``True`` when the receiver is down during the outage."""
+        return FAILURE_MODES[self.mode]["rx"]
+
+    def covers(self, time: float) -> bool:
+        """``True`` when ``time`` falls inside the outage window."""
+        return self.start <= time < self.end
+
+
+@dataclass
+class FailureModelConfig:
+    """Parameters of the interface-failure model."""
+
+    #: Total run length used to size outages, in seconds.
+    sim_duration: float = 5400.0
+    #: Failures never start before this time (discovery phase is failure-free).
+    earliest_onset: float = 100.0
+    #: Failures may start as late as this time.
+    latest_onset: float = 5400.0
+    #: Outage modes drawn uniformly per node.
+    modes: Sequence[str] = ("tx", "rx", "both")
+    #: Nodes excluded from failure injection (none by default).
+    immune_nodes: Sequence[Address] = field(default_factory=tuple)
+
+
+def build_interface_failure_plan(
+    node_ids: Iterable[Address],
+    failure_rate: float,
+    rng: random.Random,
+    config: Optional[FailureModelConfig] = None,
+) -> List[InterfaceOutage]:
+    """Draw one outage per node according to the paper's failure model.
+
+    ``failure_rate`` is the paper's lambda (0 <= lambda <= 1): the proportion of the
+    run during which the chosen interface directions are down.  A rate of zero
+    yields an empty plan.
+    """
+    if not 0.0 <= failure_rate <= 1.0:
+        raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate!r}")
+    cfg = config if config is not None else FailureModelConfig()
+    plan: List[InterfaceOutage] = []
+    if failure_rate == 0.0:
+        return plan
+    duration = failure_rate * cfg.sim_duration
+    for node in node_ids:
+        if node in cfg.immune_nodes:
+            continue
+        start = rng.uniform(cfg.earliest_onset, cfg.latest_onset)
+        mode = rng.choice(list(cfg.modes))
+        plan.append(InterfaceOutage(node=node, start=start, duration=duration, mode=mode))
+    return plan
+
+
+class FailureInjector(Process):
+    """Applies an interface-failure plan to the endpoints of a network."""
+
+    def __init__(self, sim: Simulator, network: Network, plan: Sequence[InterfaceOutage]) -> None:
+        super().__init__(sim, "failure-injector")
+        self.network = network
+        self.plan = list(plan)
+
+    def on_start(self) -> None:
+        for outage in self.plan:
+            if not self.network.has_endpoint(outage.node):
+                continue
+            start_delay = max(0.0, outage.start - self.now)
+            self.after(start_delay, self._apply, outage)
+
+    def _apply(self, outage: InterfaceOutage) -> None:
+        endpoint = self.network.endpoint(outage.node)
+        endpoint.interface.fail(tx=outage.fails_tx, rx=outage.fails_rx)
+        self.trace(
+            "interface_failed",
+            node=outage.node,
+            mode=outage.mode,
+            until=outage.end,
+        )
+        self.after(outage.duration, self._restore, outage)
+
+    def _restore(self, outage: InterfaceOutage) -> None:
+        endpoint = self.network.endpoint(outage.node)
+        endpoint.interface.restore(tx=outage.fails_tx, rx=outage.fails_rx)
+        self.trace("interface_restored", node=outage.node, mode=outage.mode)

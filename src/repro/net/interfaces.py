@@ -1,0 +1,106 @@
+"""Node network interfaces and endpoints.
+
+Each node owns a :class:`NetworkInterface` with independent transmitter and
+receiver state.  The interface-failure model of the paper (Section 5, Step 2)
+fails the transmitter, the receiver, or both for a contiguous window of the
+run; while a direction is down, messages in that direction are lost silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.addressing import Address
+from repro.net.messages import Message
+
+
+@dataclass
+class InterfaceCounters:
+    """Per-interface message counters (sent/received/dropped)."""
+
+    sent: int = 0
+    received: int = 0
+    dropped_tx: int = 0
+    dropped_rx: int = 0
+
+
+class NetworkInterface:
+    """Transmitter/receiver pair with independent up/down state."""
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+        self.tx_up = True
+        self.rx_up = True
+        self.counters = InterfaceCounters()
+
+    # ------------------------------------------------------------------ control
+    def fail(self, tx: bool = False, rx: bool = False) -> None:
+        """Bring down the transmitter and/or receiver."""
+        if tx:
+            self.tx_up = False
+        if rx:
+            self.rx_up = False
+
+    def restore(self, tx: bool = False, rx: bool = False) -> None:
+        """Bring the transmitter and/or receiver back up."""
+        if tx:
+            self.tx_up = True
+        if rx:
+            self.rx_up = True
+
+    @property
+    def node_down(self) -> bool:
+        """``True`` when both directions are down (node failure)."""
+        return not self.tx_up and not self.rx_up
+
+    def can_send(self) -> bool:
+        """``True`` when the transmitter is up."""
+        return self.tx_up
+
+    def can_receive(self) -> bool:
+        """``True`` when the receiver is up."""
+        return self.rx_up
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkInterface({self.address!r}, tx={'up' if self.tx_up else 'DOWN'},"
+            f" rx={'up' if self.rx_up else 'DOWN'})"
+        )
+
+
+class Endpoint:
+    """Binding between an address, an interface and a receive handler.
+
+    The discovery-layer node registers itself with the :class:`~repro.net.network.Network`
+    through an endpoint; the network delivers messages by calling
+    :meth:`deliver`, which forwards to the registered handler only when the
+    receiver interface is up.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        handler: Optional[Callable[[Message], Any]] = None,
+        interface: Optional[NetworkInterface] = None,
+    ) -> None:
+        self.address = address
+        self.interface = interface if interface is not None else NetworkInterface(address)
+        self._handler = handler
+
+    def bind(self, handler: Callable[[Message], Any]) -> None:
+        """Attach (or replace) the receive handler."""
+        self._handler = handler
+
+    def deliver(self, message: Message) -> bool:
+        """Deliver ``message`` to the handler if the receiver is up.
+
+        Returns ``True`` when the message reached the handler.
+        """
+        if not self.interface.can_receive():
+            self.interface.counters.dropped_rx += 1
+            return False
+        self.interface.counters.received += 1
+        if self._handler is not None:
+            self._handler(message)
+        return True

@@ -1,0 +1,111 @@
+"""Message record passed between nodes.
+
+Messages carry a protocol-specific ``kind`` string plus an arbitrary payload
+dictionary.  Two flags drive the paper's message accounting:
+
+* ``layer`` distinguishes service-discovery-layer messages from transport
+  overhead (TCP segments, acknowledgements).  Table 2 and the Efficiency
+  Degradation metric of the paper count only discovery-layer messages for
+  UPnP and Jini ("the ... models do not take into account the messages used
+  by the transmission layers").
+* ``update_related`` marks messages that are part of propagating a changed
+  service description; these are the messages counted as *y* in the Update
+  Efficiency / Efficiency Degradation metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.net.addressing import Address, MULTICAST_GROUP
+
+_MSG_COUNTER = itertools.count(1)
+
+
+class MessageLayer(str, Enum):
+    """Which layer a message belongs to for accounting purposes."""
+
+    DISCOVERY = "discovery"
+    TRANSPORT = "transport"
+
+
+@dataclass
+class Message:
+    """A single protocol message.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Node addresses.  ``receiver`` is :data:`MULTICAST_GROUP` for
+        multicast messages.
+    protocol:
+        Short protocol tag (``"frodo"``, ``"jini"``, ``"upnp"``).
+    kind:
+        Protocol-specific message type, e.g. ``"service_update"``.
+    payload:
+        Arbitrary content (service descriptions, lease durations, ...).
+    update_related:
+        Counted towards *y* in the efficiency metrics when sent at or after
+        the service-change time.
+    layer:
+        Discovery-layer vs transport-layer message (see module docstring).
+    size_bytes:
+        Nominal size; only used for reporting, not for timing.
+    """
+
+    sender: Address
+    receiver: Address
+    protocol: str
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    update_related: bool = False
+    layer: MessageLayer = MessageLayer.DISCOVERY
+    size_bytes: int = 256
+    msg_id: int = field(default_factory=lambda: next(_MSG_COUNTER))
+    in_reply_to: Optional[int] = None
+
+    @property
+    def is_multicast(self) -> bool:
+        """``True`` when addressed to the multicast group."""
+        return self.receiver == MULTICAST_GROUP
+
+    def reply(
+        self,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        update_related: bool = False,
+        **extra: Any,
+    ) -> "Message":
+        """Build a unicast reply from the receiver back to the sender."""
+        return Message(
+            sender=self.receiver if not self.is_multicast else extra.pop("sender"),
+            receiver=self.sender,
+            protocol=self.protocol,
+            kind=kind,
+            payload=dict(payload or {}),
+            update_related=update_related,
+            in_reply_to=self.msg_id,
+            **extra,
+        )
+
+    def clone(self) -> "Message":
+        """Copy of this message with a fresh message id (used for retransmissions)."""
+        return Message(
+            sender=self.sender,
+            receiver=self.receiver,
+            protocol=self.protocol,
+            kind=self.kind,
+            payload=dict(self.payload),
+            update_related=self.update_related,
+            layer=self.layer,
+            size_bytes=self.size_bytes,
+            in_reply_to=self.in_reply_to,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable summary used in traces and logs."""
+        target = "multicast" if self.is_multicast else self.receiver
+        return f"{self.protocol}.{self.kind} {self.sender} -> {target}"

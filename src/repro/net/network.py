@@ -1,0 +1,188 @@
+"""The shared local-area network.
+
+The :class:`Network` owns the set of endpoints, imposes the 10-100 microsecond
+transmission delay from Table 3, enforces interface up/down state at both the
+sending and the receiving side, and records every transmission attempt in a
+:class:`~repro.net.stats.MessageStats` instance.
+
+Transports (:mod:`repro.net.udp`, :mod:`repro.net.tcp`,
+:mod:`repro.net.multicast`) are thin policies built on top of the two
+primitives :meth:`Network.transmit_unicast` and :meth:`Network.transmit_multicast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.net.addressing import Address, MULTICAST_GROUP, validate_address
+from repro.net.interfaces import Endpoint
+from repro.net.messages import Message
+from repro.net.stats import MessageStats
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class NetworkConfig:
+    """Physical-layer parameters (Table 3)."""
+
+    #: Lower bound of the uniform transmission delay, in seconds (10 microseconds).
+    min_delay: float = 10e-6
+    #: Upper bound of the uniform transmission delay, in seconds (100 microseconds).
+    max_delay: float = 100e-6
+    #: Spacing between redundant copies of a multicast transmission, in seconds.
+    multicast_copy_spacing: float = 0.1
+
+
+class Network:
+    """Single broadcast-domain network connecting all simulated nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else NetworkConfig()
+        self.stats = MessageStats()
+        self._endpoints: Dict[Address, Endpoint] = {}
+        self._delay_rng = rng.stream("network", "delay")
+
+    # ------------------------------------------------------------------ membership
+    def join(self, endpoint: Endpoint) -> Endpoint:
+        """Register an endpoint.  Raises on duplicate addresses."""
+        address = validate_address(endpoint.address)
+        if address in self._endpoints:
+            raise ValueError(f"address already joined: {address!r}")
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def leave(self, address: Address) -> None:
+        """Remove an endpoint from the network."""
+        self._endpoints.pop(address, None)
+
+    def endpoint(self, address: Address) -> Endpoint:
+        """Return the endpoint registered under ``address``."""
+        return self._endpoints[address]
+
+    def has_endpoint(self, address: Address) -> bool:
+        """``True`` when ``address`` is registered."""
+        return address in self._endpoints
+
+    def addresses(self) -> List[Address]:
+        """All registered addresses, in join order."""
+        return list(self._endpoints.keys())
+
+    # ------------------------------------------------------------------ helpers
+    def transmission_delay(self) -> float:
+        """Draw one transmission delay from the uniform 10-100 microsecond range."""
+        return self._delay_rng.uniform(self.config.min_delay, self.config.max_delay)
+
+    def interfaces_up(self, sender: Address, receiver: Address) -> bool:
+        """``True`` when the sender can transmit and the receiver can receive *right now*."""
+        src = self._endpoints.get(sender)
+        dst = self._endpoints.get(receiver)
+        if src is None or dst is None:
+            return False
+        return src.interface.can_send() and dst.interface.can_receive()
+
+    # ------------------------------------------------------------------ primitives
+    def transmit_unicast(
+        self,
+        message: Message,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+        record: bool = True,
+    ) -> bool:
+        """Attempt a single unicast transmission.
+
+        The attempt is recorded in the statistics regardless of outcome (a
+        node that transmits into a failed receiver still spent the message).
+        Returns ``True`` when the message left the sender's transmitter; the
+        eventual delivery happens one transmission delay later and only if
+        the receiver interface is up at that instant.
+        """
+        sender_ep = self._endpoints.get(message.sender)
+        if sender_ep is None:
+            raise KeyError(f"unknown sender {message.sender!r}")
+        receiver_ep = self._endpoints.get(message.receiver)
+
+        if not sender_ep.interface.can_send():
+            sender_ep.interface.counters.dropped_tx += 1
+            # The node tried to send but its transmitter is down: nothing is
+            # emitted on the wire, so the attempt is not counted as traffic.
+            return False
+
+        if record:
+            self.stats.record_send(self.sim.now, message)
+        sender_ep.interface.counters.sent += 1
+
+        if receiver_ep is None:
+            # Destination unknown / departed: message is lost on the wire.
+            return True
+
+        def _deliver() -> None:
+            delivered = receiver_ep.deliver(message)
+            if delivered and on_delivered is not None:
+                on_delivered(message)
+
+        self.sim.schedule(self.transmission_delay(), _deliver)
+        return True
+
+    def transmit_multicast(
+        self,
+        message: Message,
+        copies: int = 1,
+        record: bool = True,
+    ) -> bool:
+        """Transmit a multicast message to every other endpoint.
+
+        ``copies`` models the redundant transmissions used by UPnP and Jini
+        announcements (Table 3); copies are spaced by
+        :attr:`NetworkConfig.multicast_copy_spacing` seconds.  Returns ``True``
+        when at least one copy left the transmitter.
+        """
+        if message.receiver != MULTICAST_GROUP:
+            raise ValueError("multicast message must be addressed to MULTICAST_GROUP")
+        sender_ep = self._endpoints.get(message.sender)
+        if sender_ep is None:
+            raise KeyError(f"unknown sender {message.sender!r}")
+
+        any_sent = False
+        for copy_index in range(max(1, copies)):
+            offset = copy_index * self.config.multicast_copy_spacing
+            self.sim.schedule(offset, self._emit_multicast_copy, message, sender_ep, record and copy_index == 0, copies)
+        # Whether a copy actually leaves the transmitter is evaluated at the
+        # scheduled emission time; report optimistically that the send was
+        # initiated (callers never rely on this value for correctness).
+        any_sent = True
+        return any_sent
+
+    def _emit_multicast_copy(
+        self,
+        message: Message,
+        sender_ep: Endpoint,
+        record: bool,
+        copies: int,
+    ) -> None:
+        if record:
+            # One logical multicast send is recorded once, with its copy count,
+            # so that Table 2 style accounting counts announcements once while
+            # the redundant copies remain visible via ``count_copies=True``.
+            self.stats.record_send(self.sim.now, message, copies=copies)
+        if not sender_ep.interface.can_send():
+            sender_ep.interface.counters.dropped_tx += 1
+            return
+        sender_ep.interface.counters.sent += 1
+        for address, endpoint in self._endpoints.items():
+            if address == message.sender:
+                continue
+            self.sim.schedule(self.transmission_delay(), endpoint.deliver, message)
+
+    # ------------------------------------------------------------------ queries
+    def reachable_nodes(self, sender: Address) -> Iterable[Address]:
+        """Addresses whose receiver is currently up, excluding the sender."""
+        for address, endpoint in self._endpoints.items():
+            if address != sender and endpoint.interface.can_receive():
+                yield address

@@ -1,0 +1,120 @@
+"""Message accounting.
+
+The Update Efficiency and Efficiency Degradation metrics need, per run, the
+total number of update-related discovery-layer messages sent at or after the
+service-change time (*y* in the paper).  :class:`MessageStats` records every
+transmission attempt with its time, kind, layer and flags, and provides the
+aggregation queries used by :mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.messages import Message, MessageLayer
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """A single recorded transmission attempt."""
+
+    time: float
+    sender: str
+    receiver: str
+    protocol: str
+    kind: str
+    layer: MessageLayer
+    update_related: bool
+    multicast: bool
+    copies: int = 1
+
+
+class MessageStats:
+    """Accumulates every transmission attempt made on a :class:`~repro.net.network.Network`."""
+
+    def __init__(self) -> None:
+        self._sent: List[SentMessage] = []
+
+    def __len__(self) -> int:
+        return len(self._sent)
+
+    @property
+    def sent(self) -> List[SentMessage]:
+        """All recorded transmissions in send order."""
+        return self._sent
+
+    def record_send(self, time: float, message: Message, copies: int = 1) -> None:
+        """Record a transmission attempt (``copies`` > 1 for redundant multicast)."""
+        self._sent.append(
+            SentMessage(
+                time=time,
+                sender=message.sender,
+                receiver=message.receiver,
+                protocol=message.protocol,
+                kind=message.kind,
+                layer=message.layer,
+                update_related=message.update_related,
+                multicast=message.is_multicast,
+                copies=copies,
+            )
+        )
+
+    # ------------------------------------------------------------------ queries
+    def total_sent(
+        self,
+        layer: Optional[MessageLayer] = None,
+        since: Optional[float] = None,
+        count_copies: bool = False,
+    ) -> int:
+        """Total transmissions, optionally restricted by layer and start time."""
+        total = 0
+        for rec in self._sent:
+            if layer is not None and rec.layer != layer:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            total += rec.copies if count_copies else 1
+        return total
+
+    def update_messages(
+        self,
+        since: Optional[float] = None,
+        include_transport: bool = False,
+        count_copies: bool = False,
+    ) -> int:
+        """Number of update-related messages (*y* in the efficiency metrics)."""
+        total = 0
+        for rec in self._sent:
+            if not rec.update_related:
+                continue
+            if not include_transport and rec.layer != MessageLayer.DISCOVERY:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            total += rec.copies if count_copies else 1
+        return total
+
+    def counts_by_kind(
+        self,
+        layer: Optional[MessageLayer] = None,
+        since: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Histogram of message kinds (``protocol.kind`` keys)."""
+        counter: Counter = Counter()
+        for rec in self._sent:
+            if layer is not None and rec.layer != layer:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            counter[f"{rec.protocol}.{rec.kind}"] += 1
+        return dict(counter)
+
+    def transport_overhead(self, since: Optional[float] = None) -> int:
+        """Number of transport-layer messages (TCP segments and acknowledgements)."""
+        return self.total_sent(layer=MessageLayer.TRANSPORT, since=since)
+
+    def clear(self) -> None:
+        """Reset all counters."""
+        self._sent.clear()

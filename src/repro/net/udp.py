@@ -1,0 +1,34 @@
+"""UDP transport model.
+
+Table 3: "Message discarded.  No retransmission."  FRODO uses UDP for both
+unicast and multicast; the service-discovery layer itself is responsible for
+any acknowledgements and retransmissions (recovery techniques SRN1/SRC1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.messages import Message
+from repro.net.network import Network
+
+
+class UdpTransport:
+    """Fire-and-forget unicast transport."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    def send(
+        self,
+        message: Message,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+    ) -> bool:
+        """Send a single datagram.
+
+        The datagram is lost silently when the sender's transmitter or the
+        receiver's receiver is down; the sender is *not* informed.  Returns
+        ``True`` if the datagram left the transmitter (which says nothing
+        about delivery).
+        """
+        return self.network.transmit_unicast(message, on_delivered=on_delivered)

@@ -1,0 +1,21 @@
+"""Protocol models.
+
+One subpackage per modelled system:
+
+* :mod:`repro.protocols.frodo` — the paper's own protocol (2-party and
+  3-party subscription, UDP-only, Central/Backup, SRN1/SRN2/SRC1/SRC2,
+  PR1/PR3/PR4/PR5),
+* :mod:`repro.protocols.jini` — Jini with one or two Registries (3-party
+  subscription over TCP),
+* :mod:`repro.protocols.upnp` — UPnP (2-party subscription over TCP,
+  invalidation-based notification).
+
+:mod:`repro.protocols.base` defines the :class:`~repro.protocols.base.ProtocolDeployment`
+interface the experiment harness drives, and :mod:`repro.protocols.registry`
+maps system names ("frodo2", "jini1", ...) to their builders.
+"""
+
+from repro.protocols.base import ProtocolDeployment
+from repro.protocols.registry import SYSTEMS, build_system, system_names
+
+__all__ = ["ProtocolDeployment", "SYSTEMS", "build_system", "system_names"]

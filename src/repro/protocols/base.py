@@ -1,0 +1,78 @@
+"""Deployment interface shared by all protocol models.
+
+A *deployment* is the set of nodes of one system instantiated on one network
+(the topology of Table 4), plus the operations the experiment scenario needs:
+start everything, trigger the service change, and enumerate the node ids for
+failure injection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.node import DiscoveryNode
+from repro.discovery.service import ServiceDescription
+
+
+class ProtocolDeployment:
+    """A concrete topology of one protocol ready to be simulated."""
+
+    #: Registry key of the system ("upnp", "jini1", "jini2", "frodo3", "frodo2").
+    system: str = "generic"
+    #: The system's own zero-failure update message count (m' in the paper).
+    m_prime: int = 7
+
+    def __init__(self, tracker: ConsistencyTracker) -> None:
+        self.tracker = tracker
+        self.users: List[DiscoveryNode] = []
+        self.managers: List[DiscoveryNode] = []
+        self.registries: List[DiscoveryNode] = []
+        self.other_nodes: List[DiscoveryNode] = []
+
+    # ------------------------------------------------------------------ topology
+    @property
+    def all_nodes(self) -> List[DiscoveryNode]:
+        """Every node of the deployment."""
+        return [*self.registries, *self.managers, *self.users, *self.other_nodes]
+
+    def node_ids(self) -> List[str]:
+        """Identifiers of every node (the population for failure injection)."""
+        return [node.node_id for node in self.all_nodes]
+
+    @property
+    def primary_manager(self) -> DiscoveryNode:
+        """The Manager whose service changes in the experiment."""
+        if not self.managers:
+            raise RuntimeError("deployment has no manager")
+        return self.managers[0]
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start every node (registries first, then managers, then users)."""
+        for node in self.all_nodes:
+            node.start()
+
+    def stop(self) -> None:
+        """Stop every node."""
+        for node in self.all_nodes:
+            node.stop()
+
+    # ------------------------------------------------------------------ scenario hooks
+    def trigger_service_change(
+        self, attributes: Optional[Dict[str, object]] = None
+    ) -> ServiceDescription:
+        """Change the primary Manager's service description (the paper's update event).
+
+        Concrete deployments forward this to their Manager implementation and
+        return the new authoritative service description.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line summary of the topology."""
+        return (
+            f"{self.system}: {len(self.registries)} registr{'y' if len(self.registries) == 1 else 'ies'}, "
+            f"{len(self.managers)} manager(s), {len(self.users)} user(s)"
+            + (f", {len(self.other_nodes)} other node(s)" if self.other_nodes else "")
+        )

@@ -1,0 +1,154 @@
+"""The simulation engine.
+
+:class:`Simulator` owns the clock and the event calendar.  Protocol models
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the engine executes them in
+deterministic time order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.tracing import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """Opaque handle returned by the scheduling API; supports cancellation."""
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: EventQueue) -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        """Absolute time at which the underlying event fires."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """``True`` while the event has not been cancelled or fired."""
+        return not self._event.cancelled and not getattr(self._event, "_fired", False)
+
+    def cancel(self) -> bool:
+        """Cancel the scheduled event.  Returns ``True`` if it was still live."""
+        return self._queue.cancel(self._event)
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (seconds).
+    tracer:
+        Optional :class:`~repro.sim.tracing.Tracer` used by models to record
+        structured events.  A fresh tracer is created when omitted.
+    """
+
+    def __init__(self, start_time: float = 0.0, tracer: Optional[Tracer] = None) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.executed_events = 0
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not yet fired, not cancelled) events."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}, current time is {self._now!r}"
+            )
+        event = self._queue.push(time, callback, args, priority=priority)
+        return EventHandle(event, self._queue)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a previously scheduled event."""
+        return handle.cancel()
+
+    # --------------------------------------------------------------- execution
+    def step(self) -> bool:
+        """Execute the single next event.  Returns ``False`` when none remain."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event calendar went backwards")
+        self._now = event.time
+        event.fire()
+        self.executed_events += 1
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar empties or the clock reaches ``until``.
+
+        Returns the final simulation time.  When ``until`` is given the clock
+        is advanced to exactly ``until`` even if the last event fired earlier.
+        """
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ helpers
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule(0.0, callback, *args)
+
+    def trace(self, category: str, event: str, **fields: Any) -> None:
+        """Record a structured trace entry at the current simulation time."""
+        self.tracer.record(self._now, category, event, **fields)

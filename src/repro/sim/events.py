@@ -1,0 +1,115 @@
+"""Event calendar primitives.
+
+The calendar is a binary heap of :class:`Event` records ordered by
+``(time, priority, sequence)``.  The sequence number guarantees a total,
+deterministic order for events scheduled at the same instant, which in turn
+makes every simulation run exactly reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Tie-breaker for events at the same time; lower fires first.
+    sequence:
+        Monotonically increasing insertion counter; makes ordering total.
+    callback:
+        Callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    cancelled:
+        Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> Any:
+        """Invoke the callback unless the event was cancelled."""
+        if self.cancelled:
+            return None
+        return self.callback(*self.args)
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> Event:
+        """Insert a new event and return it (usable as a cancellation handle)."""
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Mark an event as cancelled.  Returns ``True`` if it was still live."""
+        if event.cancelled:
+            return False
+        event.cancelled = True
+        self._live -= 1
+        return True
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

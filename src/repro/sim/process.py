@@ -1,0 +1,66 @@
+"""Lightweight process abstraction.
+
+A :class:`Process` is a named component attached to a simulator: protocol
+nodes, failure injectors and scenario drivers derive from it.  It provides
+start/stop lifecycle hooks and convenience scheduling that automatically
+tags trace records with the process name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class Process:
+    """Base class for simulation components with a lifecycle."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.started = False
+        self.stopped = False
+        self._owned_handles: List[EventHandle] = []
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the process; idempotent."""
+        if self.started:
+            return
+        self.started = True
+        self.on_start()
+
+    def stop(self) -> None:
+        """Stop the process and cancel any events it scheduled through :meth:`after`."""
+        if self.stopped:
+            return
+        self.stopped = True
+        for handle in self._owned_handles:
+            handle.cancel()
+        self._owned_handles.clear()
+        self.on_stop()
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        """Hook invoked by :meth:`start`."""
+
+    def on_stop(self) -> None:  # pragma: no cover - default no-op
+        """Hook invoked by :meth:`stop`."""
+
+    # ------------------------------------------------------------------ scheduling
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule a callback owned by this process (cancelled on :meth:`stop`)."""
+        handle = self.sim.schedule(delay, callback, *args)
+        self._owned_handles.append(handle)
+        if len(self._owned_handles) > 256:
+            self._owned_handles = [h for h in self._owned_handles if h.active]
+        return handle
+
+    def trace(self, event: str, **fields: Any) -> None:
+        """Record a trace entry under this process's name."""
+        self.sim.trace(self.name, event, **fields)

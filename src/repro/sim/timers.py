@@ -1,0 +1,91 @@
+"""Timer helpers built on top of the simulator scheduling API."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+
+
+class OneShotTimer:
+    """A restartable single-shot timer.
+
+    Used by the protocol models for time-outs (e.g. waiting for an
+    acknowledgement): :meth:`start` arms the timer, :meth:`cancel` disarms
+    it, and re-arming an armed timer replaces the previous deadline.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """``True`` when a deadline is pending."""
+        return self._handle is not None and self._handle.active
+
+    def start(self, delay: float, *args: Any) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire, *args)
+
+    def cancel(self) -> None:
+        """Disarm the timer if it is armed."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self, *args: Any) -> None:
+        self._handle = None
+        self._callback(*args)
+
+
+class PeriodicTimer:
+    """A repeating timer with optional initial offset and per-tick jitter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        jitter: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """``True`` while the timer is active."""
+        return self._running
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Start ticking; the first tick fires after ``initial_delay`` (default: one interval)."""
+        self.stop()
+        self._running = True
+        delay = self.interval if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(max(0.0, delay), self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if not self._running:
+            return
+        delay = self.interval
+        if self._jitter is not None:
+            delay = max(0.0, delay + self._jitter())
+        self._handle = self._sim.schedule(delay, self._tick)

@@ -1,0 +1,97 @@
+"""Structured trace log.
+
+Every model component records salient events (message sent, lease expired,
+user became consistent, ...) as :class:`TraceRecord` entries.  The analysis
+layer uses the trace for debugging and for the per-run message accounting
+described in the paper's Update Efficiency metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single structured trace entry."""
+
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a named field, or ``default`` when absent."""
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"TraceRecord(t={self.time:.6f}, {self.category}/{self.event}, {extra})"
+
+
+class Tracer:
+    """Append-only list of :class:`TraceRecord` with simple query helpers.
+
+    Tracing can be disabled entirely (``enabled=False``) for large parameter
+    sweeps where only the aggregate counters matter; the protocol models
+    always go through :meth:`record` so a disabled tracer is nearly free.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in insertion (time) order."""
+        return self._records
+
+    def record(self, time: float, category: str, event: str, **fields: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time=time, category=category, event=event, fields=fields))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------ queries
+    def filter(
+        self,
+        category: Optional[str] = None,
+        event: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all of the given criteria."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, **kwargs: Any) -> int:
+        """Number of records matching :meth:`filter` criteria."""
+        return len(self.filter(**kwargs))
+
+    def categories(self) -> Iterable[str]:
+        """Distinct categories present in the trace."""
+        return sorted({rec.category for rec in self._records})
