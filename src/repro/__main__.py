@@ -1,0 +1,182 @@
+"""``python -m repro`` — the experiment command line.
+
+Subcommands
+-----------
+* ``sweep``   — run the failure-rate sweep and emit JSON (and optionally CSV):
+  ``python -m repro sweep --system frodo3 --rates 0,10,20 --runs 20 --out results.json``
+* ``run``     — execute a single scenario and print its RunResult as JSON.
+* ``systems`` — list the deployable systems of the protocol registry.
+
+Rates are given in percent (``--rates 0,10,20`` sweeps lambda = 0, 0.1, 0.2).
+Output is deterministic for a given ``--seed``: re-running the same command
+produces byte-identical JSON.  ``--out -`` writes to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import (
+    format_summary_table,
+    run_to_dict,
+    summaries_to_csv,
+    to_json,
+    write_sweep_json,
+    write_text,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenario import (
+    DEFAULT_CHANGE_TIME,
+    DEFAULT_SIM_DURATION,
+    ScenarioSpec,
+)
+from repro.experiments.sweep import SweepSpec, sweep
+from repro.protocols.registry import SYSTEMS, UnknownSystemError
+
+
+def _parse_percent(token: str) -> float:
+    """Parse one failure rate in percent into a fraction."""
+    percent = float(token)
+    if not 0.0 <= percent <= 100.0:
+        raise argparse.ArgumentTypeError(f"rate {token!r} not in [0, 100] percent")
+    return percent / 100.0
+
+
+def _parse_rates(text: str) -> List[float]:
+    """Parse ``"0,10,20"`` (percent) into ``[0.0, 0.1, 0.2]``."""
+    rates = [_parse_percent(token.strip()) for token in text.split(",") if token.strip()]
+    if not rates:
+        raise argparse.ArgumentTypeError("no failure rates given")
+    return rates
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    parser.add_argument("--users", type=int, default=5, help="number of Users (default: 5)")
+    parser.add_argument(
+        "--change-time",
+        type=float,
+        default=DEFAULT_CHANGE_TIME,
+        help=f"service-change time in seconds (default: {DEFAULT_CHANGE_TIME:g})",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=DEFAULT_SIM_DURATION,
+        help=f"measurement deadline in seconds (default: {DEFAULT_SIM_DURATION:g})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Failure-rate experiments for the service-discovery reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep_parser = subparsers.add_parser("sweep", help="run the failure-rate sweep")
+    sweep_parser.add_argument(
+        "--system",
+        dest="systems",
+        action="append",
+        required=True,
+        help="system to deploy (repeatable), e.g. --system frodo3",
+    )
+    sweep_parser.add_argument(
+        "--rates",
+        type=_parse_rates,
+        default=[0.0],
+        help="comma-separated failure rates in percent (default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--runs", type=int, default=20, help="replications per cell (default: 20)"
+    )
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--out", default="-", help="JSON output path, or - for stdout (default: -)"
+    )
+    sweep_parser.add_argument(
+        "--csv", default=None, help="also write the summary table as CSV to this path"
+    )
+    sweep_parser.add_argument(
+        "--per-run", action="store_true", help="include every RunResult in the JSON"
+    )
+    sweep_parser.add_argument(
+        "--table", action="store_true", help="print the summary table to stderr"
+    )
+
+    run_parser = subparsers.add_parser("run", help="execute one scenario")
+    run_parser.add_argument("--system", required=True, help="system to deploy")
+    run_parser.add_argument(
+        "--rate", type=_parse_percent, default=0.0, help="failure rate in percent (default: 0)"
+    )
+    _add_scenario_arguments(run_parser)
+    run_parser.add_argument(
+        "--out", default="-", help="JSON output path, or - for stdout (default: -)"
+    )
+
+    subparsers.add_parser("systems", help="list deployable systems")
+    return parser
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        systems=tuple(args.systems),
+        failure_rates=tuple(args.rates),
+        runs_per_cell=args.runs,
+        base_seed=args.seed,
+        n_users=args.users,
+        change_time=args.change_time,
+        deadline=args.deadline,
+    )
+    result = sweep(spec)
+    write_sweep_json(result, args.out, include_runs=args.per_run)
+    if args.csv is not None:
+        write_text(summaries_to_csv(result.summaries), args.csv)
+    if args.table:
+        sys.stderr.write(format_summary_table(result.summaries))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        system=args.system,
+        failure_rate=args.rate,
+        seed=args.seed,
+        n_users=args.users,
+        change_time=args.change_time,
+        deadline=args.deadline,
+    )
+    result = ExperimentRunner().run(spec)
+    write_text(to_json(run_to_dict(result)), args.out)
+    return 0
+
+
+def _command_systems() -> int:
+    for entry in sorted(SYSTEMS, key=lambda e: e.name):
+        line = f"{entry.name:<10} m'={entry.m_prime}"
+        if entry.description:
+            line += f"  {entry.description}"
+        print(line)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "run":
+            return _command_run(args)
+        return _command_systems()
+    except (UnknownSystemError, ValueError, OSError) as exc:
+        # Bad grids (e.g. --runs 0) and unwritable --out paths surface as
+        # clean CLI errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

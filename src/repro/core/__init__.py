@@ -6,11 +6,10 @@
   Effectiveness, Efficiency) and the paper's Efficiency Degradation metric.
 * :mod:`repro.core.recovery` — the classification of recovery techniques
   (Tables 1, 2 and 4 of the paper).
-* :mod:`repro.core.experiment` — the Section 5 experiment scenario
-  (one Manager, five Users, a service change, interface failures).
-* :mod:`repro.core.sweep` — failure-rate sweeps with replications.
-* :mod:`repro.core.results` / :mod:`repro.core.analysis` — aggregation into
-  the paper's figures and tables.
+
+The Section 5 experiment scenario, the failure-rate sweep driver and the
+result reporting live in :mod:`repro.experiments`; the protocol topologies
+they drive are looked up through :mod:`repro.protocols.registry`.
 """
 
 from repro.core.consistency import ConsistencyTracker, UserViewRecord
@@ -31,10 +30,6 @@ from repro.core.recovery import (
     ProtocolProfile,
     techniques_for,
 )
-from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.core.sweep import SweepConfig, run_sweep
-from repro.core.results import SweepResults, SystemSeries
-from repro.core.analysis import average_metrics_table, metric_series
 
 __all__ = [
     "ConsistencyTracker",
@@ -52,12 +47,4 @@ __all__ = [
     "PROTOCOL_PROFILES",
     "ProtocolProfile",
     "techniques_for",
-    "ExperimentConfig",
-    "run_experiment",
-    "SweepConfig",
-    "run_sweep",
-    "SweepResults",
-    "SystemSeries",
-    "average_metrics_table",
-    "metric_series",
 ]

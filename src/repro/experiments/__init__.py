@@ -1,0 +1,52 @@
+"""Experiment orchestration: scenarios, the runner, sweeps and reporting.
+
+This package turns the simulation ingredients (:mod:`repro.sim`,
+:mod:`repro.net`, :mod:`repro.protocols`, :mod:`repro.core`) into the paper's
+experiment:
+
+* :mod:`repro.experiments.scenario` — :class:`ScenarioSpec`, the full
+  description of one run,
+* :mod:`repro.experiments.runner` — :class:`ExperimentRunner`, which builds
+  the stack (deployment via the protocol registry, failure plan, consistency
+  tracker), triggers the service change and extracts a
+  :class:`~repro.core.metrics.RunResult`,
+* :mod:`repro.experiments.sweep` — the systems x failure-rates x seeds
+  driver with deterministic per-run seed derivation,
+* :mod:`repro.experiments.report` — JSON / CSV / table emitters.
+
+The ``python -m repro`` CLI (:mod:`repro.__main__`) is a thin wrapper over
+this package.
+"""
+
+from repro.experiments.scenario import (
+    DEFAULT_CHANGE_TIME,
+    DEFAULT_SIM_DURATION,
+    ScenarioSpec,
+    run_seed,
+)
+from repro.experiments.runner import ExperimentRunner, RunContext
+from repro.experiments.sweep import SweepResult, SweepSpec, sweep
+from repro.experiments.report import (
+    format_summary_table,
+    summaries_to_csv,
+    sweep_to_dict,
+    to_json,
+    write_sweep_json,
+)
+
+__all__ = [
+    "DEFAULT_CHANGE_TIME",
+    "DEFAULT_SIM_DURATION",
+    "ScenarioSpec",
+    "run_seed",
+    "ExperimentRunner",
+    "RunContext",
+    "SweepSpec",
+    "SweepResult",
+    "sweep",
+    "format_summary_table",
+    "summaries_to_csv",
+    "sweep_to_dict",
+    "to_json",
+    "write_sweep_json",
+]

@@ -1,0 +1,142 @@
+"""End-to-end execution of one experiment run (Section 5, Steps 1-5).
+
+The :class:`ExperimentRunner` assembles the full stack for one
+:class:`~repro.experiments.scenario.ScenarioSpec`:
+
+1. a fresh :class:`~repro.sim.engine.Simulator` and a per-run
+   :class:`~repro.sim.rng.RngRegistry` derived from the spec's master seed,
+2. the shared :class:`~repro.net.network.Network`,
+3. the deployment, built by name through the
+   :mod:`~repro.protocols.registry` (Step 1: topology of Table 4),
+4. the interface-failure plan from :mod:`repro.net.failures` (Step 2),
+5. the service change at ``change_time`` (Step 3) and the run to the
+   measurement deadline (Steps 4-5),
+
+then extracts a :class:`~repro.core.metrics.RunResult` from the consistency
+tracker and the network's message statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.core.metrics import RunResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.net.failures import FailureInjector, FailureModelConfig, build_interface_failure_plan
+from repro.net.network import Network, NetworkConfig
+from repro.protocols.base import ProtocolDeployment
+from repro.protocols.registry import DeploymentRegistry, SYSTEMS
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class RunContext:
+    """The fully assembled stack of one run (exposed for tests and debugging)."""
+
+    spec: ScenarioSpec
+    sim: Simulator
+    rng: RngRegistry
+    network: Network
+    tracker: ConsistencyTracker
+    deployment: ProtocolDeployment
+    injector: FailureInjector
+
+
+class ExperimentRunner:
+    """Builds and executes single runs against a deployment registry."""
+
+    def __init__(
+        self,
+        registry: DeploymentRegistry = SYSTEMS,
+        network_config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.network_config = network_config
+
+    # ------------------------------------------------------------------ assembly
+    def setup(self, spec: ScenarioSpec) -> RunContext:
+        """Construct the stack for ``spec`` without running it."""
+        spec.validate()
+        rng = RngRegistry(spec.seed)
+        sim = Simulator(tracer=Tracer(enabled=spec.trace))
+        network = Network(sim, rng, config=self.network_config)
+        tracker = ConsistencyTracker()
+        deployment = self.registry.build(
+            spec.system, sim, network, tracker, n_users=spec.n_users, **spec.builder_options
+        )
+
+        failure_config = FailureModelConfig(
+            sim_duration=spec.deadline,
+            latest_onset=spec.deadline,
+        )
+        plan = build_interface_failure_plan(
+            deployment.node_ids(),
+            spec.failure_rate,
+            rng.stream("failures"),
+            config=failure_config,
+        )
+        injector = FailureInjector(sim, network, plan)
+        return RunContext(
+            spec=spec,
+            sim=sim,
+            rng=rng,
+            network=network,
+            tracker=tracker,
+            deployment=deployment,
+            injector=injector,
+        )
+
+    # ------------------------------------------------------------------ execution
+    def run(self, spec: ScenarioSpec) -> RunResult:
+        """Execute one run and return its :class:`~repro.core.metrics.RunResult`."""
+        context = self.setup(spec)
+        return self.execute(context)
+
+    def execute(self, context: RunContext) -> RunResult:
+        """Run an assembled :class:`RunContext` to the deadline and collect results."""
+        spec = context.spec
+        try:
+            context.deployment.start()
+            context.injector.start()
+            context.sim.schedule_at(spec.change_time, context.deployment.trigger_service_change)
+            context.sim.run(until=spec.deadline)
+            return self.collect(context)
+        finally:
+            context.deployment.stop()
+            context.injector.stop()
+
+    def collect(self, context: RunContext) -> RunResult:
+        """Extract the :class:`~repro.core.metrics.RunResult` after the run finished."""
+        spec = context.spec
+        changed_version = context.tracker.authoritative_version
+        change_time = context.tracker.change_time(changed_version)
+        if change_time is None:
+            raise RuntimeError(
+                f"run {spec.describe()} never recorded a service change; "
+                "the deployment's trigger_service_change hook is broken"
+            )
+        stats = context.deployment.collect_run_stats(change_time)
+        return RunResult(
+            system=spec.system,
+            failure_rate=spec.failure_rate,
+            seed=spec.seed,
+            change_time=change_time,
+            deadline=spec.deadline,
+            user_update_times=dict(
+                sorted(context.tracker.update_times(changed_version).items())
+            ),
+            update_message_count=stats.update_message_count,
+            total_discovery_messages=stats.total_discovery_messages,
+            transport_message_count=stats.transport_message_count,
+            details={
+                "m_prime": context.deployment.m_prime,
+                "n_outages": len(context.injector.plan),
+                "executed_events": context.sim.executed_events,
+                "changed_version": changed_version,
+                "update_counts_by_kind": stats.update_counts_by_kind,
+            },
+        )

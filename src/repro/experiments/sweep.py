@@ -1,0 +1,136 @@
+"""Failure-rate sweeps (the paper's experiment proper).
+
+A sweep is the cross product *systems x failure rates x replications*.  Every
+run's master seed is derived deterministically from the sweep's base seed and
+the run's cell coordinates (:func:`~repro.experiments.scenario.run_seed`), so
+
+* the same sweep specification always produces byte-identical results, and
+* extending a sweep (more systems, rates or replications) never changes the
+  results of the runs it already contained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.metrics import MetricSummary, RunResult
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenario import (
+    DEFAULT_CHANGE_TIME,
+    DEFAULT_SIM_DURATION,
+    ScenarioSpec,
+    run_seed,
+)
+from repro.protocols.registry import DeploymentRegistry, SYSTEMS
+
+#: Observer called after every finished run (progress reporting).
+RunObserver = Callable[[RunResult], None]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The full experiment grid."""
+
+    systems: Sequence[str] = ("frodo3",)
+    #: Failure rates as fractions in [0, 1] (the paper sweeps 0 % .. 80 %).
+    failure_rates: Sequence[float] = (0.0,)
+    #: Replications per (system, rate) cell.
+    runs_per_cell: int = 20
+    #: Base seed every per-run seed is derived from.
+    base_seed: int = 0
+    n_users: int = 5
+    change_time: float = DEFAULT_CHANGE_TIME
+    deadline: float = DEFAULT_SIM_DURATION
+    builder_options: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self, registry: DeploymentRegistry = SYSTEMS) -> "SweepSpec":
+        """Check the grid against the registry before spending any cycles."""
+        if not self.systems:
+            raise ValueError("sweep needs at least one system")
+        if not self.failure_rates:
+            raise ValueError("sweep needs at least one failure rate")
+        if self.runs_per_cell < 1:
+            raise ValueError("runs_per_cell must be >= 1")
+        for system in self.systems:
+            registry.get(system)  # raises UnknownSystemError with the known names
+        self.scenario(self.systems[0], self.failure_rates[0], 0).validate()
+        return self
+
+    def scenario(self, system: str, failure_rate: float, run_index: int) -> ScenarioSpec:
+        """The :class:`ScenarioSpec` of one cell replication."""
+        return ScenarioSpec(
+            system=system,
+            failure_rate=failure_rate,
+            seed=run_seed(self.base_seed, system, failure_rate, run_index),
+            n_users=self.n_users,
+            change_time=self.change_time,
+            deadline=self.deadline,
+            builder_options=dict(self.builder_options),
+        )
+
+    def cells(self) -> List[Tuple[str, float]]:
+        """All (system, failure rate) cells in execution order."""
+        return [(system, rate) for system in self.systems for rate in self.failure_rates]
+
+    @property
+    def total_runs(self) -> int:
+        """Number of simulation runs the sweep will execute."""
+        return len(self.systems) * len(self.failure_rates) * self.runs_per_cell
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a sweep produced: per-run results plus per-cell summaries."""
+
+    spec: SweepSpec
+    runs: List[RunResult]
+    summaries: List[MetricSummary]
+
+    def cell_runs(self, system: str, failure_rate: float) -> List[RunResult]:
+        """The replications of one (system, rate) cell."""
+        return [
+            run
+            for run in self.runs
+            if run.system == system and run.failure_rate == failure_rate
+        ]
+
+    def summary_for(self, system: str, failure_rate: float) -> MetricSummary:
+        """The metric summary of one cell."""
+        for summary in self.summaries:
+            if summary.system == system and summary.failure_rate == failure_rate:
+                return summary
+        raise KeyError(f"no summary for ({system!r}, {failure_rate!r})")
+
+
+def sweep(
+    spec: SweepSpec,
+    registry: DeploymentRegistry = SYSTEMS,
+    runner: Optional[ExperimentRunner] = None,
+    observer: Optional[RunObserver] = None,
+) -> SweepResult:
+    """Execute the full grid and aggregate each cell into a :class:`MetricSummary`.
+
+    When an explicit ``runner`` is supplied its registry wins: validation and
+    the per-system ``m_prime`` lookup must see the same registry the
+    deployments are built from.
+    """
+    if runner is None:
+        runner = ExperimentRunner(registry)
+    else:
+        registry = runner.registry
+    spec.validate(registry)
+    runs: List[RunResult] = []
+    summaries: List[MetricSummary] = []
+    for system, rate in spec.cells():
+        cell_runs: List[RunResult] = []
+        for run_index in range(spec.runs_per_cell):
+            result = runner.run(spec.scenario(system, rate, run_index))
+            cell_runs.append(result)
+            if observer is not None:
+                observer(result)
+        runs.extend(cell_runs)
+        summaries.append(
+            MetricSummary.from_runs(cell_runs, m_prime=registry.get(system).m_prime)
+        )
+    return SweepResult(spec=spec, runs=runs, summaries=summaries)

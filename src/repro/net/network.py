@@ -140,8 +140,10 @@ class Network:
 
         ``copies`` models the redundant transmissions used by UPnP and Jini
         announcements (Table 3); copies are spaced by
-        :attr:`NetworkConfig.multicast_copy_spacing` seconds.  Returns ``True``
-        when at least one copy left the transmitter.
+        :attr:`NetworkConfig.multicast_copy_spacing` seconds.  The first copy
+        is emitted immediately and the return value reports whether it left
+        the transmitter; later copies are evaluated against the interface
+        state at their own emission times.
         """
         if message.receiver != MULTICAST_GROUP:
             raise ValueError("multicast message must be addressed to MULTICAST_GROUP")
@@ -149,36 +151,39 @@ class Network:
         if sender_ep is None:
             raise KeyError(f"unknown sender {message.sender!r}")
 
-        any_sent = False
-        for copy_index in range(max(1, copies)):
+        # ``recorded`` is shared by all copies so that one logical multicast
+        # is recorded at most once — by the first copy that actually leaves
+        # the transmitter (matching the unicast rule that a blocked
+        # transmitter emits nothing on the wire and is not counted).
+        state = {"recorded": not record}
+        first_copy_sent = self._emit_multicast_copy(message, sender_ep, state, copies)
+        for copy_index in range(1, max(1, copies)):
             offset = copy_index * self.config.multicast_copy_spacing
-            self.sim.schedule(offset, self._emit_multicast_copy, message, sender_ep, record and copy_index == 0, copies)
-        # Whether a copy actually leaves the transmitter is evaluated at the
-        # scheduled emission time; report optimistically that the send was
-        # initiated (callers never rely on this value for correctness).
-        any_sent = True
-        return any_sent
+            self.sim.schedule(offset, self._emit_multicast_copy, message, sender_ep, state, copies)
+        return first_copy_sent
 
     def _emit_multicast_copy(
         self,
         message: Message,
         sender_ep: Endpoint,
-        record: bool,
+        state: Dict[str, bool],
         copies: int,
-    ) -> None:
-        if record:
+    ) -> bool:
+        if not sender_ep.interface.can_send():
+            sender_ep.interface.counters.dropped_tx += 1
+            return False
+        if not state["recorded"]:
             # One logical multicast send is recorded once, with its copy count,
             # so that Table 2 style accounting counts announcements once while
             # the redundant copies remain visible via ``count_copies=True``.
+            state["recorded"] = True
             self.stats.record_send(self.sim.now, message, copies=copies)
-        if not sender_ep.interface.can_send():
-            sender_ep.interface.counters.dropped_tx += 1
-            return
         sender_ep.interface.counters.sent += 1
         for address, endpoint in self._endpoints.items():
             if address == message.sender:
                 continue
             self.sim.schedule(self.transmission_delay(), endpoint.deliver, message)
+        return True
 
     # ------------------------------------------------------------------ queries
     def reachable_nodes(self, sender: Address) -> Iterable[Address]:

@@ -100,13 +100,20 @@ class MessageStats:
         self,
         layer: Optional[MessageLayer] = None,
         since: Optional[float] = None,
+        update_related: Optional[bool] = None,
     ) -> Dict[str, int]:
-        """Histogram of message kinds (``protocol.kind`` keys)."""
+        """Histogram of message kinds (``protocol.kind`` keys).
+
+        ``update_related`` restricts the histogram to messages with (``True``)
+        or without (``False``) the accounting flag; ``None`` counts both.
+        """
         counter: Counter = Counter()
         for rec in self._sent:
             if layer is not None and rec.layer != layer:
                 continue
             if since is not None and rec.time < since:
+                continue
+            if update_related is not None and rec.update_related != update_related:
                 continue
             counter[f"{rec.protocol}.{rec.kind}"] += 1
         return dict(counter)

@@ -2,17 +2,43 @@
 
 A *deployment* is the set of nodes of one system instantiated on one network
 (the topology of Table 4), plus the operations the experiment scenario needs:
-start everything, trigger the service change, and enumerate the node ids for
-failure injection.
+start everything, trigger the service change, enumerate the node ids for
+failure injection, and collect the per-run message statistics the Update
+Metrics are computed from.
+
+Concrete deployments are constructed through
+:mod:`repro.protocols.registry`, never by hard-coding a builder; the
+:class:`~repro.experiments.runner.ExperimentRunner` drives every deployment
+exclusively through this interface.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.core.consistency import ConsistencyTracker
 from repro.discovery.node import DiscoveryNode
 from repro.discovery.service import ServiceDescription
+from repro.net.messages import MessageLayer
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class DeploymentRunStats:
+    """Per-run message accounting extracted from :class:`~repro.net.stats.MessageStats`.
+
+    ``update_message_count`` is *y* in the Update Efficiency / Efficiency
+    Degradation metrics: update-related discovery-layer messages sent at or
+    after the service-change time (see EXPERIMENTS.md for the accounting
+    rules).
+    """
+
+    update_message_count: int
+    total_discovery_messages: int
+    transport_message_count: int
+    update_counts_by_kind: Dict[str, int] = field(default_factory=dict)
 
 
 class ProtocolDeployment:
@@ -23,7 +49,9 @@ class ProtocolDeployment:
     #: The system's own zero-failure update message count (m' in the paper).
     m_prime: int = 7
 
-    def __init__(self, tracker: ConsistencyTracker) -> None:
+    def __init__(self, sim: Simulator, network: Network, tracker: ConsistencyTracker) -> None:
+        self.sim = sim
+        self.network = network
         self.tracker = tracker
         self.users: List[DiscoveryNode] = []
         self.managers: List[DiscoveryNode] = []
@@ -68,6 +96,28 @@ class ProtocolDeployment:
         return the new authoritative service description.
         """
         raise NotImplementedError
+
+    def collect_run_stats(self, change_time: float) -> DeploymentRunStats:
+        """Extract the per-run message accounting after the run finished.
+
+        Subclasses may override this when their accounting deviates from the
+        default (e.g. UPnP/Jini over TCP, where transport overhead is excluded
+        from Table 2 counts but still reported separately).
+        """
+        stats = self.network.stats
+        return DeploymentRunStats(
+            update_message_count=stats.update_messages(since=change_time),
+            total_discovery_messages=stats.total_sent(layer=MessageLayer.DISCOVERY),
+            transport_message_count=stats.transport_overhead(),
+            update_counts_by_kind={
+                kind: count
+                for kind, count in sorted(
+                    stats.counts_by_kind(
+                        layer=MessageLayer.DISCOVERY, since=change_time, update_related=True
+                    ).items()
+                )
+            },
+        )
 
     def describe(self) -> str:
         """One-line summary of the topology."""

@@ -53,8 +53,14 @@ class FrodoDeployment(ProtocolDeployment):
 
     m_prime = 7
 
-    def __init__(self, tracker: ConsistencyTracker, config: FrodoConfig) -> None:
-        super().__init__(tracker)
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        tracker: ConsistencyTracker,
+        config: FrodoConfig,
+    ) -> None:
+        super().__init__(sim, network, tracker)
         self.config = config
         self.system = (
             "frodo2" if config.subscription_mode is SubscriptionMode.TWO_PARTY else "frodo3"
@@ -74,7 +80,7 @@ def build_frodo(
 ) -> FrodoDeployment:
     """Instantiate the FRODO topology for the requested subscription mode."""
     config = (config if config is not None else FrodoConfig()).validate()
-    deployment = FrodoDeployment(tracker, config)
+    deployment = FrodoDeployment(sim, network, tracker, config)
     two_party = config.subscription_mode is SubscriptionMode.TWO_PARTY
 
     transports = Transports(

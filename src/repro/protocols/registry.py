@@ -1,0 +1,185 @@
+"""Pluggable registry of protocol deployments.
+
+Every modelled system is registered here under its name ("frodo2", "frodo3",
+later "upnp", "jini1", "jini2"); the experiment harness looks builders up by
+name instead of hard-coding protocol construction, so adding a new protocol
+is one ``SYSTEMS.register(...)`` call and no runner changes.
+
+A *builder* is a callable ``(sim, network, tracker, **options) ->
+ProtocolDeployment``.  Options every builder must accept (with defaults):
+
+* ``n_users`` — number of measured Users in the topology (Table 4 uses 5).
+
+The module-level :data:`SYSTEMS` instance is the default registry used by
+:func:`build_system`, the sweep driver and the ``python -m repro`` CLI; tests
+can construct private :class:`DeploymentRegistry` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.net.network import Network
+from repro.protocols.base import ProtocolDeployment
+from repro.sim.engine import Simulator
+
+#: Signature of a deployment builder.
+DeploymentBuilder = Callable[..., ProtocolDeployment]
+
+
+class UnknownSystemError(KeyError):
+    """Raised when a system name is not registered."""
+
+    def __init__(self, name: str, known: List[str]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        return f"unknown system {self.name!r}; registered systems: {', '.join(self.known) or '(none)'}"
+
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """One registered system: its builder plus the metadata the sweep needs."""
+
+    name: str
+    builder: DeploymentBuilder
+    #: The system's zero-failure update message count (m' in the paper).
+    m_prime: int
+    description: str = ""
+
+
+class DeploymentRegistry:
+    """Name -> deployment-builder mapping with metadata."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SystemEntry] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[SystemEntry]:
+        return iter(self._entries.values())
+
+    def register(
+        self,
+        name: str,
+        builder: DeploymentBuilder,
+        m_prime: int = 7,
+        description: str = "",
+        replace: bool = False,
+    ) -> SystemEntry:
+        """Register ``builder`` under ``name``.
+
+        Duplicate names raise unless ``replace=True`` (used by experiments
+        that swap in instrumented variants of a system).
+        """
+        if not name:
+            raise ValueError("system name must be non-empty")
+        if m_prime <= 0:
+            raise ValueError("m_prime must be positive")
+        if name in self._entries and not replace:
+            raise ValueError(f"system {name!r} already registered")
+        entry = SystemEntry(name=name, builder=builder, m_prime=m_prime, description=description)
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (no-op when absent)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> SystemEntry:
+        """Look up a system; raises :class:`UnknownSystemError` with the known names."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownSystemError(name, self.names()) from None
+
+    def names(self) -> List[str]:
+        """All registered system names, sorted."""
+        return sorted(self._entries.keys())
+
+    def build(
+        self,
+        name: str,
+        sim: Simulator,
+        network: Network,
+        tracker: ConsistencyTracker,
+        **options: object,
+    ) -> ProtocolDeployment:
+        """Construct the named system's deployment on the given substrate."""
+        entry = self.get(name)
+        deployment = entry.builder(sim, network, tracker, **options)
+        if not isinstance(deployment, ProtocolDeployment):
+            raise TypeError(
+                f"builder for {name!r} returned {type(deployment).__name__}, "
+                "expected a ProtocolDeployment"
+            )
+        return deployment
+
+
+#: The default registry every standard system registers into.
+SYSTEMS = DeploymentRegistry()
+
+
+def build_system(
+    name: str,
+    sim: Simulator,
+    network: Network,
+    tracker: ConsistencyTracker,
+    **options: object,
+) -> ProtocolDeployment:
+    """Build a system from the default registry (see :data:`SYSTEMS`)."""
+    return SYSTEMS.build(name, sim, network, tracker, **options)
+
+
+def system_names() -> List[str]:
+    """Names registered in the default registry."""
+    return SYSTEMS.names()
+
+
+# --------------------------------------------------------------------------- standard systems
+def _register_standard_systems() -> None:
+    """Register the systems shipped with the reproduction (FRODO for now)."""
+    import dataclasses
+
+    from repro.protocols.frodo.builder import FrodoDeployment, build_frodo
+    from repro.protocols.frodo.config import FrodoConfig, SubscriptionMode
+
+    def _frodo_builder(mode: SubscriptionMode) -> DeploymentBuilder:
+        def _build(
+            sim: Simulator,
+            network: Network,
+            tracker: ConsistencyTracker,
+            n_users: int = 5,
+            config: Optional[FrodoConfig] = None,
+        ) -> ProtocolDeployment:
+            # Copy before pinning the mode: the caller's config object must
+            # not be mutated (it may be shared across sweep replications).
+            base = config if config is not None else FrodoConfig()
+            cfg = dataclasses.replace(base, subscription_mode=mode)
+            return build_frodo(sim, network, tracker, config=cfg, n_users=n_users)
+
+        return _build
+
+    SYSTEMS.register(
+        "frodo3",
+        _frodo_builder(SubscriptionMode.THREE_PARTY),
+        m_prime=FrodoDeployment.m_prime,
+        description="FRODO, 3-party subscription (3D Manager, Central relays updates)",
+    )
+    SYSTEMS.register(
+        "frodo2",
+        _frodo_builder(SubscriptionMode.TWO_PARTY),
+        m_prime=FrodoDeployment.m_prime,
+        description="FRODO, 2-party subscription (300D Manager notifies Users directly)",
+    )
+
+
+_register_standard_systems()

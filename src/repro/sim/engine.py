@@ -35,7 +35,7 @@ class EventHandle:
     @property
     def active(self) -> bool:
         """``True`` while the event has not been cancelled or fired."""
-        return not self._event.cancelled and not getattr(self._event, "_fired", False)
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> bool:
         """Cancel the scheduled event.  Returns ``True`` if it was still live."""

@@ -32,6 +32,8 @@ class Event:
         Positional arguments passed to ``callback``.
     cancelled:
         Set by :meth:`EventQueue.cancel`; cancelled events are skipped.
+    fired:
+        Set by :meth:`fire`; lets handles report that the event is spent.
     """
 
     time: float
@@ -40,11 +42,13 @@ class Event:
     callback: Callable[..., Any] = field(compare=False)
     args: Tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
     def fire(self) -> Any:
         """Invoke the callback unless the event was cancelled."""
         if self.cancelled:
             return None
+        self.fired = True
         return self.callback(*self.args)
 
 
@@ -83,7 +87,7 @@ class EventQueue:
 
     def cancel(self, event: Event) -> bool:
         """Mark an event as cancelled.  Returns ``True`` if it was still live."""
-        if event.cancelled:
+        if event.cancelled or event.fired:
             return False
         event.cancelled = True
         self._live -= 1

@@ -1,0 +1,93 @@
+"""Hand-computed fixtures for the Update Metrics (Section 4.5)."""
+
+import pytest
+
+from repro.core.metrics import (
+    MetricSummary,
+    RunResult,
+    effectiveness,
+    efficiency_degradation,
+    responsiveness,
+    update_efficiency,
+)
+
+
+def make_run(update_times, y=7, system="frodo3", rate=0.0, change=100.0, deadline=200.0):
+    return RunResult(
+        system=system,
+        failure_rate=rate,
+        seed=0,
+        change_time=change,
+        deadline=deadline,
+        user_update_times=update_times,
+        update_message_count=y,
+    )
+
+
+def test_latencies_hand_computed():
+    # Change at 100, deadline at 200 -> window of 100 s.
+    run = make_run({"u1": 125.0, "u2": 150.0, "u3": None})
+    # L = (U - C) / (D - C): 0.25, 0.5, and 1.0 for the never-updated user.
+    assert run.latencies() == [0.25, 0.5, 1.0]
+    assert run.users_updated() == 2
+
+
+def test_update_at_deadline_counts_as_miss():
+    run = make_run({"u1": 200.0})
+    assert run.latencies() == [1.0]
+    assert run.users_updated() == 0
+
+
+def test_responsiveness_is_median_of_one_minus_latency():
+    run = make_run({"u1": 125.0, "u2": 150.0, "u3": None})
+    # 1 - L values: 0.75, 0.5, 0.0 -> median 0.5.
+    assert responsiveness([run]) == 0.5
+
+
+def test_effectiveness_is_fraction_updated_before_deadline():
+    runs = [
+        make_run({"u1": 120.0, "u2": None}),
+        make_run({"u1": 130.0, "u2": 180.0}),
+    ]
+    assert effectiveness(runs) == pytest.approx(3 / 4)
+
+
+def test_update_efficiency_mean_of_capped_ratio():
+    # m = 7; y = 14 and y = 7 -> ratios 0.5 and 1.0 -> mean 0.75.
+    runs = [make_run({"u1": 120.0}, y=14), make_run({"u1": 120.0}, y=7)]
+    assert update_efficiency(runs) == pytest.approx(0.75)
+
+
+def test_update_efficiency_conventions():
+    # y = 0 (no update messages at all) contributes 0, not a division error;
+    # y < m is capped at 1 so partial propagation cannot beat the baseline.
+    runs = [make_run({"u1": None}, y=0), make_run({"u1": 120.0}, y=3)]
+    assert update_efficiency(runs) == pytest.approx((0.0 + 1.0) / 2)
+
+
+def test_efficiency_degradation_uses_system_m_prime():
+    runs = [make_run({"u1": 120.0}, y=20)]
+    assert efficiency_degradation(runs, m_prime=10) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        efficiency_degradation(runs, m_prime=0)
+
+
+def test_metric_summary_from_runs():
+    runs = [
+        make_run({"u1": 125.0, "u2": 150.0}, y=7),
+        make_run({"u1": 150.0, "u2": None}, y=14),
+    ]
+    summary = MetricSummary.from_runs(runs, m_prime=7)
+    assert summary.system == "frodo3"
+    assert summary.runs == 2
+    # Latencies: 0.25, 0.5, 0.5, 1.0 -> 1-L: 0.75, 0.5, 0.5, 0.0 -> median 0.5.
+    assert summary.responsiveness == 0.5
+    assert summary.effectiveness == pytest.approx(3 / 4)
+    assert summary.update_efficiency == pytest.approx((1.0 + 0.5) / 2)
+    assert summary.mean_update_messages == pytest.approx(10.5)
+
+
+def test_metric_summary_rejects_mixed_cells():
+    runs = [make_run({"u1": 120.0}), make_run({"u1": 120.0}, rate=0.2)]
+    with pytest.raises(ValueError):
+        MetricSummary.from_runs(runs, m_prime=7)

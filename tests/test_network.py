@@ -1,0 +1,139 @@
+"""Unit tests for the network substrate: delays, interface outages, multicast."""
+
+import pytest
+
+from repro.net.addressing import MULTICAST_GROUP
+from repro.net.interfaces import Endpoint
+from repro.net.messages import Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_network(n_nodes=3):
+    sim = Simulator()
+    network = Network(sim, RngRegistry(1234))
+    inboxes = {}
+    for index in range(n_nodes):
+        address = f"node-{index}"
+        inbox = []
+        inboxes[address] = inbox
+        network.join(Endpoint(address, handler=inbox.append))
+    return sim, network, inboxes
+
+
+def msg(sender, receiver, kind="ping", update_related=False):
+    return Message(
+        sender=sender, receiver=receiver, protocol="test", kind=kind, update_related=update_related
+    )
+
+
+def test_unicast_delay_within_table3_bounds():
+    sim, network, inboxes = make_network(2)
+    for _ in range(50):
+        network.transmit_unicast(msg("node-0", "node-1"))
+    sim.run()
+    assert len(inboxes["node-1"]) == 50
+    # Every delivery event happened between 10 and 100 microseconds after t=0.
+    assert network.config.min_delay == pytest.approx(10e-6)
+    assert network.config.max_delay == pytest.approx(100e-6)
+    assert sim.now <= network.config.max_delay
+    for _ in range(200):
+        delay = network.transmission_delay()
+        assert network.config.min_delay <= delay <= network.config.max_delay
+
+
+def test_unicast_dropped_when_sender_tx_down():
+    sim, network, inboxes = make_network(2)
+    network.endpoint("node-0").interface.fail(tx=True)
+    sent = network.transmit_unicast(msg("node-0", "node-1"))
+    sim.run()
+    assert sent is False
+    assert inboxes["node-1"] == []
+    assert network.endpoint("node-0").interface.counters.dropped_tx == 1
+    # Nothing left the transmitter, so no traffic was recorded.
+    assert len(network.stats) == 0
+
+
+def test_unicast_dropped_when_receiver_rx_down_at_delivery():
+    sim, network, inboxes = make_network(2)
+    network.endpoint("node-1").interface.fail(rx=True)
+    sent = network.transmit_unicast(msg("node-0", "node-1"))
+    sim.run()
+    # The message left the wire (and is counted as traffic) but was not delivered.
+    assert sent is True
+    assert inboxes["node-1"] == []
+    assert network.endpoint("node-1").interface.counters.dropped_rx == 1
+    assert len(network.stats) == 1
+
+
+def test_interface_restore_resumes_delivery():
+    sim, network, inboxes = make_network(2)
+    interface = network.endpoint("node-1").interface
+    interface.fail(rx=True)
+    interface.restore(rx=True)
+    network.transmit_unicast(msg("node-0", "node-1"))
+    sim.run()
+    assert len(inboxes["node-1"]) == 1
+
+
+def test_multicast_reaches_all_other_nodes():
+    sim, network, inboxes = make_network(4)
+    sent = network.transmit_multicast(msg("node-0", MULTICAST_GROUP))
+    sim.run()
+    assert sent is True
+    assert inboxes["node-0"] == []  # the sender does not hear itself
+    for address in ("node-1", "node-2", "node-3"):
+        assert len(inboxes[address]) == 1
+
+
+def test_multicast_return_value_honest_when_tx_down():
+    """Satellite fix: transmit_multicast must not report success blindly."""
+    sim, network, inboxes = make_network(3)
+    network.endpoint("node-0").interface.fail(tx=True)
+    sent = network.transmit_multicast(msg("node-0", MULTICAST_GROUP))
+    sim.run()
+    assert sent is False
+    assert all(inbox == [] for inbox in inboxes.values())
+    assert network.endpoint("node-0").interface.counters.dropped_tx == 1
+    # Nothing left the transmitter, so no traffic was recorded (unicast rule).
+    assert len(network.stats) == 0
+
+
+def test_multicast_recorded_once_by_first_copy_that_leaves():
+    sim, network, inboxes = make_network(2)
+    interface = network.endpoint("node-0").interface
+    interface.fail(tx=True)
+    # Restore the transmitter between the first and second redundant copy.
+    sim.schedule(network.config.multicast_copy_spacing / 2, interface.restore, True)
+    sent = network.transmit_multicast(msg("node-0", MULTICAST_GROUP), copies=3)
+    sim.run()
+    assert sent is False  # the first copy was blocked ...
+    assert len(inboxes["node-1"]) == 2  # ... but copies 2 and 3 got through
+    assert network.stats.total_sent() == 1  # logical send recorded exactly once
+    assert interface.counters.dropped_tx == 1
+
+
+def test_multicast_redundant_copies_recorded_once():
+    sim, network, inboxes = make_network(2)
+    network.transmit_multicast(msg("node-0", MULTICAST_GROUP), copies=3)
+    sim.run()
+    # Three copies arrive, spaced by the copy interval ...
+    assert len(inboxes["node-1"]) == 3
+    spacing = network.config.multicast_copy_spacing
+    assert sim.now == pytest.approx(2 * spacing, abs=network.config.max_delay)
+    # ... but the logical announcement is recorded once, with its copy count.
+    assert network.stats.total_sent() == 1
+    assert network.stats.total_sent(count_copies=True) == 3
+
+
+def test_multicast_requires_group_address():
+    sim, network, _ = make_network(2)
+    with pytest.raises(ValueError):
+        network.transmit_multicast(msg("node-0", "node-1"))
+
+
+def test_duplicate_join_rejected():
+    sim, network, _ = make_network(2)
+    with pytest.raises(ValueError):
+        network.join(Endpoint("node-0", handler=lambda m: None))

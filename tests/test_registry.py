@@ -1,0 +1,84 @@
+"""Tests for the pluggable deployment registry."""
+
+import pytest
+
+from repro.core.consistency import ConsistencyTracker
+from repro.net.network import Network
+from repro.protocols.base import ProtocolDeployment
+from repro.protocols.registry import (
+    SYSTEMS,
+    DeploymentRegistry,
+    UnknownSystemError,
+    build_system,
+    system_names,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def make_substrate():
+    sim = Simulator()
+    rng = RngRegistry(7)
+    return sim, Network(sim, rng), ConsistencyTracker()
+
+
+def test_standard_systems_registered():
+    assert "frodo3" in SYSTEMS
+    assert "frodo2" in SYSTEMS
+    assert set(system_names()) >= {"frodo2", "frodo3"}
+    assert SYSTEMS.get("frodo3").m_prime == 7
+
+
+def test_build_system_constructs_expected_topology():
+    sim, network, tracker = make_substrate()
+    deployment = build_system("frodo3", sim, network, tracker, n_users=3)
+    assert deployment.system == "frodo3"
+    assert len(deployment.users) == 3
+    assert len(deployment.managers) == 1
+    assert len(deployment.registries) == 1
+    assert len(deployment.node_ids()) == len(deployment.all_nodes)
+
+
+def test_builder_does_not_mutate_caller_config():
+    from repro.protocols.frodo.config import FrodoConfig, SubscriptionMode
+
+    config = FrodoConfig(subscription_mode=SubscriptionMode.TWO_PARTY)
+    sim, network, tracker = make_substrate()
+    deployment = build_system("frodo3", sim, network, tracker, config=config)
+    assert deployment.system == "frodo3"  # the registry name pins the mode ...
+    assert config.subscription_mode is SubscriptionMode.TWO_PARTY  # ... on a copy
+
+
+def test_unknown_system_error_lists_known_names():
+    with pytest.raises(UnknownSystemError) as excinfo:
+        SYSTEMS.get("upnp-nope")
+    message = str(excinfo.value)
+    assert "upnp-nope" in message
+    assert "frodo3" in message
+
+
+def test_duplicate_registration_rejected_unless_replace():
+    registry = DeploymentRegistry()
+    builder = lambda sim, network, tracker, **kw: ProtocolDeployment(sim, network, tracker)
+    registry.register("x", builder)
+    with pytest.raises(ValueError):
+        registry.register("x", builder)
+    registry.register("x", builder, replace=True)
+    assert len(registry) == 1
+
+
+def test_builder_must_return_deployment():
+    registry = DeploymentRegistry()
+    registry.register("bad", lambda sim, network, tracker, **kw: object())
+    sim, network, tracker = make_substrate()
+    with pytest.raises(TypeError):
+        registry.build("bad", sim, network, tracker)
+
+
+def test_registry_validates_metadata():
+    registry = DeploymentRegistry()
+    builder = lambda sim, network, tracker, **kw: ProtocolDeployment(sim, network, tracker)
+    with pytest.raises(ValueError):
+        registry.register("", builder)
+    with pytest.raises(ValueError):
+        registry.register("y", builder, m_prime=0)

@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event kernel (ordering, cancellation, run-until)."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+    assert sim.executed_events == 3
+
+
+def test_same_time_events_fire_in_priority_then_insertion_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "first-inserted")
+    sim.schedule(1.0, fired.append, "second-inserted")
+    sim.schedule(1.0, fired.append, "high-priority", priority=-1)
+    sim.run()
+    assert fired == ["high-priority", "first-inserted", "second-inserted"]
+
+
+def test_negative_delay_and_past_scheduling_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(9.0, lambda: None)
+
+
+def test_cancellation_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "kept")
+    assert handle.active
+    assert handle.cancel() is True
+    assert not handle.active
+    assert handle.cancel() is False  # second cancel reports "was not live"
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_handle_inactive_after_firing():
+    """Satellite fix: a handle must not report active forever after its event fired."""
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.active
+    sim.run()
+    assert not handle.active
+    # Cancelling a fired event is a no-op and must not corrupt the live count.
+    assert handle.cancel() is False
+    assert sim.pending_events == 0
+
+
+def test_run_until_advances_clock_to_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(100.0, fired.append, "late")
+    end = sim.run(until=50.0)
+    assert fired == ["early"]
+    assert end == 50.0
+    assert sim.now == 50.0
+    assert sim.pending_events == 1  # the late event is still scheduled
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 2.0
+
+
+def test_event_queue_live_count_with_cancellations():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    assert queue.cancel(first) is True
+    assert queue.cancel(first) is False
+    assert len(queue) == 1
+    assert queue.peek_time() == 2.0
+    popped = queue.pop()
+    assert popped is not None and popped.time == 2.0
+    assert queue.pop() is None
+    assert len(queue) == 0
