@@ -82,7 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         dest="systems",
         action="append",
         required=True,
-        help="system to deploy (repeatable), e.g. --system frodo3",
+        help=(
+            "system to deploy; repeatable and/or comma-separated, "
+            "e.g. --system frodo3 --system upnp,jini1"
+        ),
     )
     sweep_parser.add_argument(
         "--rates",
@@ -121,9 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _split_systems(values: Sequence[str]) -> List[str]:
+    """Flatten repeated and comma-separated ``--system`` values."""
+    return [name.strip() for value in values for name in value.split(",") if name.strip()]
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(
-        systems=tuple(args.systems),
+        systems=tuple(_split_systems(args.systems)),
         failure_rates=tuple(args.rates),
         runs_per_cell=args.runs,
         base_seed=args.seed,

@@ -72,9 +72,22 @@ class DiscoveryNode(Process):
         receiver: Address,
         kind: str,
         payload: Optional[Dict[str, Any]] = None,
-        update_related: bool = False,
+        update_related: Optional[bool] = None,
     ) -> Message:
-        """Construct a message originating at this node."""
+        """Construct a message originating at this node.
+
+        ``update_related`` defaults to the protocol-wide declaration in
+        :mod:`repro.protocols.accounting` (each protocol's ``messages`` module
+        registers its ``UPDATE_RELATED_KINDS``), so the efficiency-metric
+        tagging rule lives in one place per protocol; an explicit ``True`` /
+        ``False`` overrides the declaration for a single message.
+        """
+        if update_related is None:
+            # Imported lazily: repro.protocols imports this module via
+            # protocols.base, so a module-level import would be circular.
+            from repro.protocols.accounting import is_update_related
+
+            update_related = is_update_related(self.protocol, kind)
         return Message(
             sender=self.node_id,
             receiver=receiver,
@@ -89,7 +102,7 @@ class DiscoveryNode(Process):
         receiver: Address,
         kind: str,
         payload: Optional[Dict[str, Any]] = None,
-        update_related: bool = False,
+        update_related: Optional[bool] = None,
     ) -> Message:
         """Send a unicast UDP datagram; returns the message object."""
         if self.transports.udp is None:
@@ -103,7 +116,7 @@ class DiscoveryNode(Process):
         receiver: Address,
         kind: str,
         payload: Optional[Dict[str, Any]] = None,
-        update_related: bool = False,
+        update_related: Optional[bool] = None,
         on_delivered: Optional[Callable[[Message], None]] = None,
         on_rex: Optional[Callable[[RemoteException], None]] = None,
     ) -> Message:
@@ -118,7 +131,7 @@ class DiscoveryNode(Process):
         self,
         kind: str,
         payload: Optional[Dict[str, Any]] = None,
-        update_related: bool = False,
+        update_related: Optional[bool] = None,
         copies: Optional[int] = None,
     ) -> Message:
         """Multicast a message to every other node; returns the message object."""

@@ -130,7 +130,9 @@ def sweep(
             if observer is not None:
                 observer(result)
         runs.extend(cell_runs)
-        summaries.append(
-            MetricSummary.from_runs(cell_runs, m_prime=registry.get(system).m_prime)
-        )
+        # The deployment's own m' wins over the registry metadata: it scales
+        # with the topology (e.g. 3N for UPnP), so sweeps with --users != 5
+        # keep the zero-failure degradation at exactly 1.0.
+        m_prime = cell_runs[0].details.get("m_prime", registry.get(system).m_prime)
+        summaries.append(MetricSummary.from_runs(cell_runs, m_prime=int(m_prime)))
     return SweepResult(spec=spec, runs=runs, summaries=summaries)

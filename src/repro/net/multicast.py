@@ -12,6 +12,11 @@ from repro.net.addressing import MULTICAST_GROUP
 from repro.net.messages import Message
 from repro.net.network import Network
 
+#: FRODO transmits multicast messages once (resource-aware, Table 3).
+FRODO_MULTICAST_COPIES = 1
+#: UPnP and Jini transmit every multicast message 6 times (Table 3).
+REDUNDANT_MULTICAST_COPIES = 6
+
 
 class MulticastService:
     """Sends multicast messages with a configurable redundancy factor."""

@@ -2,17 +2,19 @@
 
 One subpackage per modelled system:
 
-* :mod:`repro.protocols.frodo` — the paper's own protocol (2-party and
-  3-party subscription, UDP-only, Central/Backup, SRN1/SRN2/SRC1/SRC2,
-  PR1/PR3/PR4/PR5),
-* :mod:`repro.protocols.jini` — Jini with one or two Registries (3-party
-  subscription over TCP),
-* :mod:`repro.protocols.upnp` — UPnP (2-party subscription over TCP,
-  invalidation-based notification).
+* :mod:`repro.protocols.frodo` — the paper's own protocol (registry names
+  ``frodo2``/``frodo3``: 2-party and 3-party subscription, UDP-only,
+  Central/Backup, SRN1/SRN2/SRC1/SRC2, PR1/PR3/PR4/PR5),
+* :mod:`repro.protocols.jini` — Jini with one or two Lookup Services
+  (``jini1``/``jini2``: 3-party remote events over TCP, PR1/PR2/PR3, SRC2),
+* :mod:`repro.protocols.upnp` — UPnP (``upnp``: 2-party GENA eventing over
+  TCP, invalidation-based notification, PR4/PR5).
 
 :mod:`repro.protocols.base` defines the :class:`~repro.protocols.base.ProtocolDeployment`
-interface the experiment harness drives, and :mod:`repro.protocols.registry`
-maps system names ("frodo2", "jini1", ...) to their builders.
+interface the experiment harness drives, :mod:`repro.protocols.registry` maps
+the system names above to their builders, and
+:mod:`repro.protocols.accounting` holds each protocol's declaration of which
+message kinds are update-related for the efficiency metrics.
 """
 
 from repro.protocols.base import ProtocolDeployment

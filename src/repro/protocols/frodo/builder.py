@@ -18,7 +18,7 @@ from typing import Dict, Optional
 from repro.core.consistency import ConsistencyTracker
 from repro.discovery.node import Transports
 from repro.discovery.service import ServiceDescription, ServiceQuery
-from repro.net.multicast import MulticastService
+from repro.net.multicast import FRODO_MULTICAST_COPIES, MulticastService
 from repro.net.network import Network
 from repro.net.udp import UdpTransport
 from repro.protocols.base import ProtocolDeployment
@@ -51,6 +51,8 @@ def default_query() -> ServiceQuery:
 class FrodoDeployment(ProtocolDeployment):
     """A FRODO topology ready to simulate."""
 
+    #: Table 2: N + 2 update messages; the class default documents N = 5, the
+    #: builder sets the instance value for the actual topology size.
     m_prime = 7
 
     def __init__(
@@ -81,12 +83,13 @@ def build_frodo(
     """Instantiate the FRODO topology for the requested subscription mode."""
     config = (config if config is not None else FrodoConfig()).validate()
     deployment = FrodoDeployment(sim, network, tracker, config)
+    deployment.m_prime = n_users + 2
     two_party = config.subscription_mode is SubscriptionMode.TWO_PARTY
 
     transports = Transports(
         udp=UdpTransport(network),
         tcp=None,
-        multicast=MulticastService(network, redundancy=1),
+        multicast=MulticastService(network, redundancy=FRODO_MULTICAST_COPIES),
     )
 
     # ------------------------------------------------------------------ Registry / Backup

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
+from repro.protocols.accounting import register_update_related_kinds
+
 PROTOCOL = "frodo"
 
 # ------------------------------------------------------------------ announcements / discovery
@@ -69,6 +71,4 @@ UPDATE_RELATED_KINDS: FrozenSet[str] = frozenset(
 )
 
 
-def is_update_related(kind: str) -> bool:
-    """Whether messages of this kind count towards the efficiency metrics."""
-    return kind in UPDATE_RELATED_KINDS
+register_update_related_kinds(PROTOCOL, UPDATE_RELATED_KINDS)

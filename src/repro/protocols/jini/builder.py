@@ -1,0 +1,136 @@
+"""Jini topology builders (Table 4).
+
+Two standard topologies are modelled:
+
+* **jini1** — one Lookup Service, one service provider, five clients.
+* **jini2** — two Lookup Services (the redundancy variant of Table 4); the
+  provider registers with both and every client holds an event registration
+  at both, doubling the update traffic (m' = 14).
+
+All unicast control traffic runs over TCP (Table 3 failure response); every
+multicast is transmitted redundantly (6 copies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.node import Transports
+from repro.discovery.service import ServiceDescription, ServiceQuery
+from repro.net.multicast import MulticastService
+from repro.net.network import Network
+from repro.net.tcp import TcpTransport
+from repro.net.udp import UdpTransport
+from repro.protocols.base import ProtocolDeployment
+from repro.protocols.jini.config import JiniConfig
+from repro.protocols.jini.manager import JiniServiceProvider
+from repro.protocols.jini.registrar import JiniLookupService
+from repro.protocols.jini.user import JiniClient
+from repro.sim.engine import Simulator
+
+#: Table 2: N + 2 update messages per Lookup Service (N = 5 Users).
+M_PRIME_PER_REGISTRY = 7
+
+
+def default_service(manager_id: str) -> ServiceDescription:
+    """The paper's example service description (a colour printer)."""
+    return ServiceDescription(
+        service_id="printer-service",
+        manager_id=manager_id,
+        device_type="Printer",
+        service_type="ColorPrinter",
+        attributes={"PaperSize": "A4", "Location": "Study"},
+        version=1,
+    )
+
+
+def default_query() -> ServiceQuery:
+    """The clients' requirement: any printer."""
+    return ServiceQuery(device_type="Printer")
+
+
+class JiniDeployment(ProtocolDeployment):
+    """A Jini topology ready to simulate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        tracker: ConsistencyTracker,
+        config: JiniConfig,
+        n_registries: int,
+    ) -> None:
+        super().__init__(sim, network, tracker)
+        self.config = config
+        self.n_registries = n_registries
+        self.system = f"jini{n_registries}"
+        #: Table 2: (N + 2) per Lookup Service; N = 5 here, the builder
+        #: overwrites it for the actual topology size.
+        self.m_prime = M_PRIME_PER_REGISTRY * n_registries
+
+    def trigger_service_change(
+        self, attributes: Optional[Dict[str, object]] = None
+    ) -> ServiceDescription:
+        provider: JiniServiceProvider = self.primary_manager  # type: ignore[assignment]
+        return provider.change_service(attributes=attributes)
+
+
+def build_jini(
+    sim: Simulator,
+    network: Network,
+    tracker: ConsistencyTracker,
+    config: Optional[JiniConfig] = None,
+    n_users: int = 5,
+    n_registries: int = 1,
+) -> JiniDeployment:
+    """Instantiate a Jini topology with ``n_registries`` Lookup Services."""
+    if n_registries < 1:
+        raise ValueError("n_registries must be >= 1")
+    config = (config if config is not None else JiniConfig()).validate()
+    deployment = JiniDeployment(sim, network, tracker, config, n_registries)
+    deployment.m_prime = (n_users + 2) * n_registries
+
+    transports = Transports(
+        udp=UdpTransport(network),
+        tcp=TcpTransport(network),
+        multicast=MulticastService(network, redundancy=config.multicast_copies),
+    )
+
+    for index in range(n_registries):
+        registrar = JiniLookupService(
+            sim,
+            network,
+            f"jini-lus-{index + 1}",
+            transports,
+            config,
+            tracker=tracker,
+        )
+        deployment.registries.append(registrar)
+
+    manager_id = "jini-manager"
+    provider = JiniServiceProvider(
+        sim,
+        network,
+        manager_id,
+        transports,
+        config,
+        sd=default_service(manager_id),
+        tracker=tracker,
+    )
+    deployment.managers.append(provider)
+
+    for index in range(n_users):
+        client = JiniClient(
+            sim,
+            network,
+            f"jini-user-{index + 1}",
+            transports,
+            config,
+            query=default_query(),
+            tracker=tracker,
+        )
+        tracker.register_user(client.node_id)
+        deployment.users.append(client)
+
+    return deployment

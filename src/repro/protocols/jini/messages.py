@@ -1,0 +1,62 @@
+"""Jini message kinds.
+
+The wire vocabulary of the Jini model and its update-message accounting
+declaration.  The zero-failure update flow per Lookup Service is one
+``service_update`` (the Manager's re-registration with changed attributes),
+one ``update_ack`` and one ``remote_event`` per client — ``N + 2`` messages,
+matching Table 2's Jini count (m' = 7 for one Registry, 14 for two).
+Lookups and their responses are update-related like FRODO's queries: before
+the change they fall outside the accounting window, afterwards they are
+exactly the SRC2/PR2/PR3 recovery traffic the degradation metric measures.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.protocols.accounting import register_update_related_kinds
+
+PROTOCOL = "jini"
+
+# ------------------------------------------------------------------ discovery (multicast, 6 copies)
+REGISTRAR_ANNOUNCE = "registrar_announce"
+DISCOVERY_REQUEST = "discovery_request"
+REGISTRAR_HERE = "registrar_here"  # unicast reply to a discovery request
+
+# ------------------------------------------------------------------ service registration (TCP)
+REGISTER = "register"
+REGISTER_ACK = "register_ack"
+REGISTER_RENEW = "register_renew"
+REGISTER_RENEW_ACK = "register_renew_ack"
+REGISTER_RENEW_ERROR = "register_renew_error"  # UnknownLeaseException -> re-register
+
+# ------------------------------------------------------------------ update propagation (TCP)
+SERVICE_UPDATE = "service_update"
+UPDATE_ACK = "update_ack"
+UPDATE_REQUEST = "update_request"  # SRC2: the Lookup Service missed an update
+REMOTE_EVENT = "remote_event"  # carries the new service item to a client
+
+# ------------------------------------------------------------------ lookup / remote events (TCP)
+LOOKUP = "lookup"
+LOOKUP_RESPONSE = "lookup_response"
+NOTIFY_REQUEST = "notify_request"  # remote-event registration
+NOTIFY_ACK = "notify_ack"
+EVENT_RENEW = "event_renew"
+EVENT_RENEW_ACK = "event_renew_ack"
+EVENT_RENEW_ERROR = "event_renew_error"  # PR3: the registration was purged
+
+#: Message kinds counted towards *y* in the efficiency metrics.
+UPDATE_RELATED_KINDS: FrozenSet[str] = frozenset(
+    {
+        REGISTER,
+        REGISTER_ACK,
+        SERVICE_UPDATE,
+        UPDATE_ACK,
+        UPDATE_REQUEST,
+        REMOTE_EVENT,
+        LOOKUP,
+        LOOKUP_RESPONSE,
+    }
+)
+
+register_update_related_kinds(PROTOCOL, UPDATE_RELATED_KINDS)

@@ -1,0 +1,218 @@
+"""The Jini Lookup Service (the Registry of the 3-party topology).
+
+The Lookup Service announces itself with periodic redundant multicasts,
+answers multicast discovery requests with a unicast reply, stores service
+registrations under a lease, serves lookups, and keeps remote-event
+registrations through which it notifies clients of (re-)registrations and
+attribute changes.  Events carry the new service item, so a delivered event
+restores the client's consistency directly.
+
+Recovery behaviour:
+
+* PR1 — events fire on every (re-)registration whose version is newer than
+  what the event registration last saw.  Only clients holding a *live* event
+  registration are notified (future registrations; Table 2's Jini caveat).
+* PR3 — renewing a purged event registration is answered with an
+  ``event_renew_error``; the client re-registers and resynchronises with a
+  lookup.
+* SRC2 — a registration renewal advertising a newer version than the
+  repository holds triggers an explicit ``update_request`` to the Manager.
+* SRC1/SRN1 exist only through TCP; a failed event delivery (Remote
+  Exception) is simply dropped — the lease machinery recovers later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.cache import ServiceCache
+from repro.discovery.node import DiscoveryNode, NodeRole, Transports
+from repro.discovery.service import ServiceDescription, ServiceQuery
+from repro.discovery.subscription import SubscriptionTable
+from repro.net.addressing import Address
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.tcp import RemoteException
+from repro.protocols.jini import messages as m
+from repro.protocols.jini.config import JiniConfig
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class JiniLookupService(DiscoveryNode):
+    """One Jini Lookup Service (LUS)."""
+
+    protocol = m.PROTOCOL
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Address,
+        transports: Transports,
+        config: JiniConfig,
+        tracker: Optional[ConsistencyTracker] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, NodeRole.REGISTRY, transports)
+        self.config = config.validate()
+        self.tracker = tracker
+
+        #: Registered service descriptions (registration lease enforced).
+        self.registrations = ServiceCache(default_lease=config.registration_lease)
+        #: Manager address per registered service.
+        self.manager_addrs: Dict[str, Address] = {}
+        #: Remote-event registrations (event lease enforced).
+        self.event_registrations = SubscriptionTable(default_lease=config.event_lease)
+
+        self._announce_timer = PeriodicTimer(sim, config.announce_interval, self._announce)
+        self._purge_timer = PeriodicTimer(sim, config.purge_scan_interval, self._purge_scan)
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_start(self) -> None:
+        self._announce()
+        self._announce_timer.start()
+        self._purge_timer.start()
+
+    def on_stop(self) -> None:
+        self._announce_timer.stop()
+        self._purge_timer.stop()
+
+    # ------------------------------------------------------------------ discovery
+    def _announce(self) -> None:
+        self.send_multicast(m.REGISTRAR_ANNOUNCE, {"registrar": self.node_id})
+
+    def handle_discovery_request(self, message: Message) -> None:
+        self.send_udp(message.sender, m.REGISTRAR_HERE, {"registrar": self.node_id})
+
+    # ------------------------------------------------------------------ service registration
+    def handle_register(self, message: Message) -> None:
+        sd: ServiceDescription = message.payload["sd"]
+        self.registrations.store(sd, self.now, lease_duration=self.config.registration_lease)
+        self.manager_addrs[sd.service_id] = message.sender
+        self.send_tcp(
+            message.sender,
+            m.REGISTER_ACK,
+            {
+                "service_id": sd.service_id,
+                "version": sd.version,
+                "lease": self.config.registration_lease,
+            },
+        )
+        self.trace("registration_stored", service_id=sd.service_id, version=sd.version)
+        self._fire_events(sd)
+
+    def handle_register_renew(self, message: Message) -> None:
+        service_id = message.payload["service_id"]
+        version = message.payload.get("version", 0)
+        entry = self.registrations.get(service_id)
+        if entry is None:
+            # UnknownLeaseException: the registration was purged; the Manager
+            # re-registers, which fires PR1 events to interested clients.
+            self.send_tcp(message.sender, m.REGISTER_RENEW_ERROR, {"service_id": service_id})
+            return
+        self.registrations.touch(service_id, self.now)
+        self.manager_addrs[service_id] = message.sender
+        self.send_tcp(
+            message.sender,
+            m.REGISTER_RENEW_ACK,
+            {"service_id": service_id, "version": entry.sd.version},
+        )
+        if self.config.enable_src2 and version > entry.sd.version:
+            # SRC2: the renewal advertises a newer version than the repository
+            # holds — the update notification was missed, so request it.
+            self.send_tcp(message.sender, m.UPDATE_REQUEST, {"service_id": service_id})
+
+    # ------------------------------------------------------------------ update propagation
+    def handle_service_update(self, message: Message) -> None:
+        sd: ServiceDescription = message.payload["sd"]
+        self.registrations.store(sd, self.now)
+        self.manager_addrs[sd.service_id] = message.sender
+        self.send_tcp(
+            message.sender,
+            m.UPDATE_ACK,
+            {"service_id": sd.service_id, "version": sd.version},
+        )
+        self.trace("update_stored", service_id=sd.service_id, version=sd.version)
+        self._fire_events(sd)
+
+    def _fire_events(self, sd: ServiceDescription) -> None:
+        """Notify every live event registration that has not seen this version."""
+        for sub in self.event_registrations.subscribers_for(sd.service_id, now=self.now):
+            if sub.acked_version < sd.version:
+                self._send_event(sub.subscriber, sd)
+
+    def _send_event(self, user: Address, sd: ServiceDescription) -> None:
+        def _delivered(_msg: Message) -> None:
+            sub = self.event_registrations.get(user, sd.service_id)
+            if sub is not None:
+                sub.acked_version = max(sub.acked_version, sd.version)
+
+        def _rex(_rex: RemoteException) -> None:
+            # Jini drops the event; the event lease (not the delivery) decides
+            # whether the registration stays, and SRC2/PR3 recover the client.
+            self.trace("event_rex", user=user, version=sd.version)
+
+        self.send_tcp(
+            user,
+            m.REMOTE_EVENT,
+            {"sd": sd},
+            on_delivered=_delivered,
+            on_rex=_rex,
+        )
+
+    # ------------------------------------------------------------------ remote-event registrations
+    def handle_notify_request(self, message: Message) -> None:
+        service_id = message.payload["service_id"]
+        held_version = message.payload.get("held_version", 0)
+        self.event_registrations.subscribe(
+            message.sender,
+            service_id,
+            self.now,
+            lease_duration=self.config.event_lease,
+            acked_version=held_version,
+        )
+        entry = self.registrations.get(service_id)
+        self.send_tcp(
+            message.sender,
+            m.NOTIFY_ACK,
+            {
+                "service_id": service_id,
+                "lease": self.config.event_lease,
+                "current_version": entry.sd.version if entry is not None else 0,
+            },
+        )
+
+    def handle_event_renew(self, message: Message) -> None:
+        service_id = message.payload["service_id"]
+        held_version = message.payload.get("held_version", 0)
+        sub = self.event_registrations.renew(message.sender, service_id, self.now)
+        if sub is None:
+            # PR3: the event registration was purged; the client re-registers.
+            self.send_tcp(message.sender, m.EVENT_RENEW_ERROR, {"service_id": service_id})
+            return
+        sub.acked_version = max(sub.acked_version, held_version)
+        entry = self.registrations.get(service_id)
+        payload = {"service_id": service_id}
+        if self.config.enable_src2:
+            payload["current_version"] = entry.sd.version if entry is not None else 0
+        self.send_tcp(message.sender, m.EVENT_RENEW_ACK, payload)
+
+    # ------------------------------------------------------------------ lookup
+    def handle_lookup(self, message: Message) -> None:
+        query = ServiceQuery(
+            device_type=message.payload.get("device_type"),
+            service_type=message.payload.get("service_type"),
+            attributes=message.payload.get("attributes", {}) or {},
+        )
+        matches = self.registrations.find(query, now=self.now)
+        self.send_tcp(message.sender, m.LOOKUP_RESPONSE, {"sds": matches})
+
+    # ------------------------------------------------------------------ purge scan
+    def _purge_scan(self) -> None:
+        now = self.now
+        for service_id in self.registrations.purge_expired(now):
+            self.trace("registration_purged", service_id=service_id)
+            self.manager_addrs.pop(service_id, None)
+        for sub in self.event_registrations.purge_expired(now):
+            self.trace("event_registration_purged", subscriber=sub.subscriber)

@@ -1,0 +1,257 @@
+"""Jini clients (the Users of the 3-party topology).
+
+A client discovers Lookup Services (multicast discovery requests plus
+announcement listening), looks the service up over TCP, adopts the service
+item from the lookup response, and places a remote-event registration at
+*every* known Lookup Service so that a change reaches it from whichever
+Registry hears about it first (the redundancy ``jini2`` is built on).
+
+Recovery behaviour:
+
+* SRC2 — ``current_version`` on notify/renewal acknowledgements reveals a
+  missed event; the client resynchronises with an explicit lookup.
+* PR2 — a Lookup Service that raises a Remote Exception or whose
+  announcements stay silent past the timeout is purged; the client
+  rediscovers via periodic multicast discovery requests and announcements.
+* PR3 — an ``event_renew_error`` (the Registry purged our event
+  registration) triggers a fresh registration; its ack carries the current
+  version, and SRC2 then pulls the missed update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.cache import ServiceCache
+from repro.discovery.node import DiscoveryNode, NodeRole, Transports
+from repro.discovery.service import ServiceDescription, ServiceQuery
+from repro.net.addressing import Address
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.tcp import RemoteException
+from repro.protocols.jini import messages as m
+from repro.protocols.jini.config import JiniConfig
+from repro.sim.engine import Simulator
+from repro.sim.timers import OneShotTimer, PeriodicTimer
+
+
+@dataclass
+class ClientRegistrarState:
+    """What the client knows about one Lookup Service."""
+
+    event_registered: bool = False
+    #: Simulation time anything was last heard from this Lookup Service.
+    last_heard: float = 0.0
+
+
+class JiniClient(DiscoveryNode):
+    """A Jini client looking for one service."""
+
+    protocol = m.PROTOCOL
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Address,
+        transports: Transports,
+        config: JiniConfig,
+        query: ServiceQuery,
+        tracker: Optional[ConsistencyTracker] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, NodeRole.USER, transports)
+        self.config = config.validate()
+        self.query = query
+        self.tracker = tracker
+
+        self.registrars: Dict[Address, ClientRegistrarState] = {}
+        self.service_id: Optional[str] = None
+        self.cache = ServiceCache(default_lease=config.service_cache_lease)
+
+        self._discovery_timer = PeriodicTimer(sim, config.discovery_interval, self._discovery_tick)
+        self._renew_timer = PeriodicTimer(sim, config.renewal_interval, self._renew_tick)
+        self._lookup_retry = OneShotTimer(sim, self._retry_lookup)
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def held_version(self) -> int:
+        """The version of the service description this client holds."""
+        if self.service_id is None:
+            return 0
+        entry = self.cache.get(self.service_id)
+        return entry.sd.version if entry is not None else 0
+
+    @property
+    def has_service(self) -> bool:
+        """``True`` when a service description is cached."""
+        return self.service_id is not None and self.cache.get(self.service_id) is not None
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_start(self) -> None:
+        self._discovery_tick()
+        self._discovery_timer.start()
+        self._renew_timer.start()
+
+    def on_stop(self) -> None:
+        self._discovery_timer.stop()
+        self._renew_timer.stop()
+        self._lookup_retry.cancel()
+
+    # ------------------------------------------------------------------ Lookup Service discovery
+    def _discovery_tick(self) -> None:
+        if self.registrars:
+            return
+        self.send_multicast(m.DISCOVERY_REQUEST, {"node": self.node_id, "role": "user"})
+
+    def handle_registrar_announce(self, message: Message) -> None:
+        self._learn_registrar(message.payload["registrar"])
+
+    def handle_registrar_here(self, message: Message) -> None:
+        self._learn_registrar(message.payload["registrar"])
+
+    def _learn_registrar(self, addr: Address) -> None:
+        state = self.registrars.get(addr)
+        if state is None:
+            state = ClientRegistrarState(last_heard=self.now)
+            self.registrars[addr] = state
+            if self.has_service:
+                self._register_notify(addr)
+            else:
+                self._lookup(addr)
+        else:
+            state.last_heard = self.now
+
+    def _drop_registrar(self, addr: Address, reason: str) -> None:
+        if self.registrars.pop(addr, None) is not None:
+            self.trace("registrar_purged", registrar=addr, reason=reason)
+        if not self.registrars:
+            # PR2: rediscover through multicast requests and announcements.
+            self._discovery_tick()
+
+    # ------------------------------------------------------------------ lookup
+    def _lookup(self, addr: Address) -> None:
+        def _rex(_rex: RemoteException) -> None:
+            self._drop_registrar(addr, reason="lookup_rex")
+
+        self.send_tcp(
+            addr,
+            m.LOOKUP,
+            {
+                "device_type": self.query.device_type,
+                "service_type": self.query.service_type,
+                "attributes": dict(self.query.attributes),
+            },
+            on_rex=_rex,
+        )
+
+    def _retry_lookup(self) -> None:
+        if self.has_service or not self.registrars:
+            return
+        self._lookup(next(iter(self.registrars)))
+
+    def handle_lookup_response(self, message: Message) -> None:
+        state = self.registrars.get(message.sender)
+        if state is not None:
+            state.last_heard = self.now
+        matches = [
+            sd for sd in message.payload.get("sds", []) if sd is not None and self.query.matches(sd)
+        ]
+        if matches:
+            self._adopt_sd(max(matches, key=lambda sd: sd.version))
+        elif not self.has_service:
+            self._lookup_retry.start(self.config.lookup_retry_interval)
+
+    # ------------------------------------------------------------------ adopting a service description
+    def _adopt_sd(self, sd: ServiceDescription) -> None:
+        if self.has_service and sd.version < self.held_version:
+            return
+        self.service_id = sd.service_id
+        self.cache.store(sd, self.now, lease_duration=self.config.service_cache_lease)
+        if self.tracker is not None:
+            self.tracker.record_view(self.node_id, sd.version, self.now)
+        self._lookup_retry.cancel()
+        for addr, state in list(self.registrars.items()):
+            if not state.event_registered:
+                self._register_notify(addr)
+
+    # ------------------------------------------------------------------ remote-event registrations
+    def _register_notify(self, addr: Address) -> None:
+        if self.service_id is None:
+            return
+
+        def _rex(_rex: RemoteException) -> None:
+            self._drop_registrar(addr, reason="notify_rex")
+
+        self.send_tcp(
+            addr,
+            m.NOTIFY_REQUEST,
+            {"service_id": self.service_id, "held_version": self.held_version},
+            on_rex=_rex,
+        )
+
+    def handle_notify_ack(self, message: Message) -> None:
+        state = self.registrars.get(message.sender)
+        if state is None:
+            state = ClientRegistrarState()
+            self.registrars[message.sender] = state
+        state.event_registered = True
+        state.last_heard = self.now
+        self._maybe_resync(message.sender, message.payload.get("current_version", 0))
+
+    def handle_remote_event(self, message: Message) -> None:
+        state = self.registrars.get(message.sender)
+        if state is not None:
+            state.last_heard = self.now
+        sd: ServiceDescription = message.payload["sd"]
+        if self.query.matches(sd):
+            self._adopt_sd(sd)
+
+    # ------------------------------------------------------------------ lease renewals / PR2 watchdog
+    def _renew_tick(self) -> None:
+        now = self.now
+        for addr, state in list(self.registrars.items()):
+            if now - state.last_heard > self.config.registry_silence_timeout:
+                # PR2: the Lookup Service has been silent for too long.
+                self._drop_registrar(addr, reason="announcement_silence")
+                continue
+            if state.event_registered and self.service_id is not None:
+
+                def _rex(_rex: RemoteException, addr: Address = addr) -> None:
+                    self._drop_registrar(addr, reason="renew_rex")
+
+                self.send_tcp(
+                    addr,
+                    m.EVENT_RENEW,
+                    {"service_id": self.service_id, "held_version": self.held_version},
+                    on_rex=_rex,
+                )
+            elif self.has_service and not state.event_registered:
+                self._register_notify(addr)
+        if not self.has_service and self.registrars and not self._lookup_retry.armed:
+            self._retry_lookup()
+
+    def handle_event_renew_ack(self, message: Message) -> None:
+        state = self.registrars.get(message.sender)
+        if state is not None:
+            state.last_heard = self.now
+        if self.service_id is not None:
+            self.cache.touch(self.service_id, self.now)
+        self._maybe_resync(message.sender, message.payload.get("current_version"))
+
+    def handle_event_renew_error(self, message: Message) -> None:
+        # PR3: the Registry purged our event registration; re-register (the
+        # notify ack's current_version then drives the SRC2 resync lookup).
+        state = self.registrars.get(message.sender)
+        if state is not None:
+            state.event_registered = False
+            state.last_heard = self.now
+        self._register_notify(message.sender)
+
+    def _maybe_resync(self, addr: Address, current_version: Optional[int]) -> None:
+        """SRC2: pull a missed update when the Registry holds a newer version."""
+        if not self.config.enable_src2 or current_version is None:
+            return
+        if current_version > self.held_version:
+            self._lookup(addr)

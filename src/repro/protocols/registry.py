@@ -146,11 +146,15 @@ def system_names() -> List[str]:
 
 # --------------------------------------------------------------------------- standard systems
 def _register_standard_systems() -> None:
-    """Register the systems shipped with the reproduction (FRODO for now)."""
+    """Register the systems of the paper's comparison (Table 4)."""
     import dataclasses
 
     from repro.protocols.frodo.builder import FrodoDeployment, build_frodo
     from repro.protocols.frodo.config import FrodoConfig, SubscriptionMode
+    from repro.protocols.jini.builder import M_PRIME_PER_REGISTRY, build_jini
+    from repro.protocols.jini.config import JiniConfig
+    from repro.protocols.upnp.builder import UpnpDeployment, build_upnp
+    from repro.protocols.upnp.config import UpnpConfig
 
     def _frodo_builder(mode: SubscriptionMode) -> DeploymentBuilder:
         def _build(
@@ -179,6 +183,49 @@ def _register_standard_systems() -> None:
         _frodo_builder(SubscriptionMode.TWO_PARTY),
         m_prime=FrodoDeployment.m_prime,
         description="FRODO, 2-party subscription (300D Manager notifies Users directly)",
+    )
+
+    def _build_upnp(
+        sim: Simulator,
+        network: Network,
+        tracker: ConsistencyTracker,
+        n_users: int = 5,
+        config: Optional[UpnpConfig] = None,
+    ) -> ProtocolDeployment:
+        return build_upnp(sim, network, tracker, config=config, n_users=n_users)
+
+    SYSTEMS.register(
+        "upnp",
+        _build_upnp,
+        m_prime=UpnpDeployment.m_prime,
+        description="UPnP (2-party GENA eventing over TCP, SSDP rediscovery, 6-copy multicast)",
+    )
+
+    def _jini_builder(n_registries: int) -> DeploymentBuilder:
+        def _build(
+            sim: Simulator,
+            network: Network,
+            tracker: ConsistencyTracker,
+            n_users: int = 5,
+            config: Optional[JiniConfig] = None,
+        ) -> ProtocolDeployment:
+            return build_jini(
+                sim, network, tracker, config=config, n_users=n_users, n_registries=n_registries
+            )
+
+        return _build
+
+    SYSTEMS.register(
+        "jini1",
+        _jini_builder(1),
+        m_prime=M_PRIME_PER_REGISTRY,
+        description="Jini, 1 Lookup Service (3-party remote events over TCP)",
+    )
+    SYSTEMS.register(
+        "jini2",
+        _jini_builder(2),
+        m_prime=2 * M_PRIME_PER_REGISTRY,
+        description="Jini, 2 Lookup Services (redundant Registries double update traffic)",
     )
 
 

@@ -10,6 +10,9 @@ from repro.core.metrics import (
     responsiveness,
     update_efficiency,
 )
+from repro.net.addressing import MULTICAST_GROUP
+from repro.net.messages import Message, MessageLayer
+from repro.net.stats import MessageStats
 
 
 def make_run(update_times, y=7, system="frodo3", rate=0.0, change=100.0, deadline=200.0):
@@ -70,6 +73,81 @@ def test_efficiency_degradation_uses_system_m_prime():
     assert efficiency_degradation(runs, m_prime=10) == pytest.approx(0.5)
     with pytest.raises(ValueError):
         efficiency_degradation(runs, m_prime=0)
+
+
+def test_efficiency_degradation_y_zero_contributes_zero():
+    # A run whose Manager was cut off for the whole propagation window sends
+    # no update messages at all: its contribution is 0, not a ZeroDivisionError.
+    runs = [make_run({"u1": None}, y=0), make_run({"u1": 120.0}, y=10)]
+    assert efficiency_degradation(runs, m_prime=10) == pytest.approx((0.0 + 1.0) / 2)
+
+
+def test_efficiency_degradation_capped_at_one():
+    # y < m' (e.g. a lucky run with fewer messages than the baseline) must not
+    # look *better* than failure-free: the ratio is capped at 1.
+    runs = [make_run({"u1": 120.0}, y=3)]
+    assert efficiency_degradation(runs, m_prime=7) == 1.0
+    assert update_efficiency(runs) == 1.0
+
+
+# --------------------------------------------------------------------------- message accounting
+def _multicast(kind="msearch", protocol="upnp", update_related=True):
+    return Message(
+        sender="a",
+        receiver=MULTICAST_GROUP,
+        protocol=protocol,
+        kind=kind,
+        update_related=update_related,
+    )
+
+
+def test_redundant_multicast_counts_once_logically():
+    # Rule 4 (EXPERIMENTS.md): a logical multicast transmitted as 6 redundant
+    # copies (UPnP/Jini, Table 3) counts once towards y; the copies remain
+    # visible through count_copies=True.
+    stats = MessageStats()
+    stats.record_send(10.0, _multicast(), copies=6)
+    assert stats.update_messages() == 1
+    assert stats.update_messages(count_copies=True) == 6
+    assert stats.total_sent(layer=MessageLayer.DISCOVERY) == 1
+    assert stats.total_sent(count_copies=True) == 6
+
+
+def test_unicast_messages_count_per_attempt():
+    # The unicast rule: every attempt that leaves the transmitter is one
+    # message — there is no copy collapsing for unicast sends.
+    stats = MessageStats()
+    for _ in range(3):
+        stats.record_send(
+            10.0,
+            Message(sender="a", receiver="b", protocol="jini", kind="service_update", update_related=True),
+        )
+    assert stats.update_messages() == 3
+    assert stats.update_messages(count_copies=True) == 3
+
+
+def test_transport_layer_excluded_from_update_count():
+    # TCP segments are transport overhead: excluded from y (Table 2's note for
+    # the UPnP/Jini models) but reported separately.
+    stats = MessageStats()
+    stats.record_send(
+        5.0,
+        Message(sender="a", receiver="b", protocol="jini", kind="service_update", update_related=True),
+    )
+    stats.record_send(
+        5.0,
+        Message(
+            sender="a",
+            receiver="b",
+            protocol="jini",
+            kind="tcp_data_retransmit",
+            update_related=True,
+            layer=MessageLayer.TRANSPORT,
+        ),
+    )
+    assert stats.update_messages() == 1
+    assert stats.update_messages(include_transport=True) == 2
+    assert stats.transport_overhead() == 1
 
 
 def test_metric_summary_from_runs():
