@@ -3,8 +3,13 @@
 Subcommands
 -----------
 * ``sweep``   — run the failure-rate sweep and emit JSON (and optionally CSV):
-  ``python -m repro sweep --system frodo3 --rates 0,10,20 --runs 20 --out results.json``
+  ``python -m repro sweep --system frodo3 --rates 0,10,20 --runs 20 --out results.json``.
+  ``--jobs N`` runs cells on a process pool (output stays byte-identical to
+  serial); ``--resume ck.json`` checkpoints every finished cell there and
+  skips cells the file already contains.
 * ``run``     — execute a single scenario and print its RunResult as JSON.
+* ``bench``   — time the standard sweep workloads serial vs parallel and
+  write the perf trajectory file (default ``BENCH_sweep.json``).
 * ``systems`` — list the deployable systems of the protocol registry.
 
 Rates are given in percent (``--rates 0,10,20`` sweeps lambda = 0, 0.1, 0.2).
@@ -18,6 +23,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.bench.harness import bench_to_dict, format_bench_table, run_bench, write_bench_json
+from repro.bench.workloads import find_workload, standard_workloads
+from repro.experiments.executors import make_executor
 from repro.experiments.report import (
     format_summary_table,
     run_to_dict,
@@ -98,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(sweep_parser)
     sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >1 runs cells on a process pool (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="CHECKPOINT",
+        help=(
+            "checkpoint file: completed cells found there are skipped, new "
+            "completions are persisted after every cell"
+        ),
+    )
+    sweep_parser.add_argument(
         "--out", default="-", help="JSON output path, or - for stdout (default: -)"
     )
     sweep_parser.add_argument(
@@ -120,6 +143,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="-", help="JSON output path, or - for stdout (default: -)"
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench", help="time the standard sweep workloads serial vs parallel"
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="CI-sized grids (fewer rates and replications)"
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=2, help="parallel worker processes (default: 2)"
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=1, help="timed attempts per path, best wins (default: 1)"
+    )
+    bench_parser.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="run only this workload (repeatable); see the emitted JSON for names",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_sweep.json",
+        help="bench JSON output path (default: BENCH_sweep.json)",
+    )
+    bench_parser.add_argument(
+        "--table", action="store_true", help="print the bench table to stderr"
+    )
+
     subparsers.add_parser("systems", help="list deployable systems")
     return parser
 
@@ -139,7 +189,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         change_time=args.change_time,
         deadline=args.deadline,
     )
-    result = sweep(spec)
+    result = sweep(
+        spec,
+        executor=make_executor(args.jobs),
+        checkpoint=args.resume,
+    )
     write_sweep_json(result, args.out, include_runs=args.per_run)
     if args.csv is not None:
         write_text(summaries_to_csv(result.summaries), args.csv)
@@ -162,6 +216,21 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    workloads = standard_workloads(quick=args.quick)
+    if args.workload:
+        workloads = [find_workload(name, workloads) for name in args.workload]
+    records = run_bench(workloads, jobs=args.jobs, repeats=args.repeats, quick=args.quick)
+    write_bench_json(bench_to_dict(records, quick=args.quick, repeats=args.repeats), args.out)
+    if args.table:
+        sys.stderr.write(format_bench_table(records))
+    if not all(record.identical for record in records):
+        broken = ", ".join(record.name for record in records if not record.identical)
+        print(f"error: parallel output diverged from serial for: {broken}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _command_systems() -> int:
     for entry in sorted(SYSTEMS, key=lambda e: e.name):
         line = f"{entry.name:<10} m'={entry.m_prime}"
@@ -178,6 +247,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "run":
             return _command_run(args)
+        if args.command == "bench":
+            return _command_bench(args)
         return _command_systems()
     except (UnknownSystemError, ValueError, OSError) as exc:
         # Bad grids (e.g. --runs 0) and unwritable --out paths surface as

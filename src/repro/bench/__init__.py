@@ -1,0 +1,39 @@
+"""Benchmark subsystem: timed sweep workloads and the perf trajectory file.
+
+The bench harness runs representative sweep workloads — one small ``system:<name>``
+grid per registered system plus the paper's full comparison grid
+(``grid:<N>-system``) — once
+through the serial executor and once through the parallel executor, records
+wall time, throughput (cells/sec) and parallel speedup, verifies that the
+two executions produce byte-identical JSON, and emits ``BENCH_sweep.json``
+(schema documented in EXPERIMENTS.md) to seed the repo's perf trajectory.
+
+* :mod:`repro.bench.workloads` — the workload catalogue (``--quick`` and
+  full variants),
+* :mod:`repro.bench.harness` — timing, identity checking and the
+  ``BENCH_sweep.json`` emitter.
+"""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    bench_to_dict,
+    format_bench_table,
+    run_bench,
+    time_workload,
+    write_bench_json,
+)
+from repro.bench.workloads import BenchWorkload, find_workload, standard_workloads
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchRecord",
+    "BenchWorkload",
+    "bench_to_dict",
+    "find_workload",
+    "format_bench_table",
+    "run_bench",
+    "standard_workloads",
+    "time_workload",
+    "write_bench_json",
+]

@@ -1,0 +1,196 @@
+"""Timing harness: measure sweep workloads serial vs parallel.
+
+For every workload the harness
+
+1. runs the sweep through the serial executor and through a parallel
+   executor (``jobs`` workers), timing each end to end with
+   :func:`time.perf_counter` (best of ``repeats`` attempts),
+2. checks that the two executions serialise to byte-identical JSON (the
+   determinism contract of the executor layer), and
+3. derives throughput (cells/sec) and the parallel speedup.
+
+:func:`write_bench_json` emits the result as ``BENCH_sweep.json`` — the
+repo's recorded perf trajectory (field meanings documented in
+EXPERIMENTS.md).  Timings are measurements, not deterministic output; the
+determinism guarantee applies to the sweep *results* embedded in the check,
+never to the recorded seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.workloads import BenchWorkload, standard_workloads
+from repro.experiments.executors import make_executor
+from repro.experiments.report import sweep_to_dict, to_json
+from repro.experiments.sweep import sweep
+
+#: Format version of BENCH_sweep.json (bumped on incompatible changes).
+BENCH_SCHEMA_VERSION = 1
+
+#: Clock used for timing (injectable for tests).
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One workload's measured serial and parallel execution."""
+
+    name: str
+    #: Number of per-replication sweep cells the workload executes.
+    cells: int
+    #: Worker count of the parallel execution.
+    jobs: int
+    #: Best-of-``repeats`` wall time of each execution path, in seconds.
+    serial_seconds: float
+    parallel_seconds: float
+    #: Throughput: cells / wall-time.
+    serial_cells_per_sec: float
+    parallel_cells_per_sec: float
+    #: serial_seconds / parallel_seconds (> 1 means the pool paid off).
+    speedup: float
+    #: Whether serial and parallel output were byte-identical (must be True).
+    identical: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cells": self.cells,
+            "jobs": self.jobs,
+            "serial_seconds": self.serial_seconds,
+            "parallel_seconds": self.parallel_seconds,
+            "serial_cells_per_sec": self.serial_cells_per_sec,
+            "parallel_cells_per_sec": self.parallel_cells_per_sec,
+            "speedup": self.speedup,
+            "identical": self.identical,
+        }
+
+
+def _timed_sweep_json(workload: BenchWorkload, jobs: int, clock: Clock) -> Tuple[float, str]:
+    """One timed execution; returns (seconds, canonical JSON of the result)."""
+    executor = make_executor(jobs)
+    start = clock()
+    result = sweep(workload.spec, executor=executor)
+    elapsed = clock() - start
+    return elapsed, to_json(sweep_to_dict(result, include_runs=True))
+
+
+def time_workload(
+    workload: BenchWorkload,
+    jobs: int = 2,
+    repeats: int = 1,
+    clock: Clock = time.perf_counter,
+) -> BenchRecord:
+    """Measure one workload serial and parallel; best wall time of ``repeats``."""
+    if jobs < 2:
+        raise ValueError(f"bench needs jobs >= 2 to measure a speedup, got {jobs}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    serial_seconds: Optional[float] = None
+    parallel_seconds: Optional[float] = None
+    serial_json = parallel_json = ""
+    for _ in range(repeats):
+        elapsed, serial_json = _timed_sweep_json(workload, jobs=1, clock=clock)
+        serial_seconds = elapsed if serial_seconds is None else min(serial_seconds, elapsed)
+        elapsed, parallel_json = _timed_sweep_json(workload, jobs=jobs, clock=clock)
+        parallel_seconds = (
+            elapsed if parallel_seconds is None else min(parallel_seconds, elapsed)
+        )
+    assert serial_seconds is not None and parallel_seconds is not None
+    return BenchRecord(
+        name=workload.name,
+        cells=workload.cells,
+        jobs=jobs,
+        serial_seconds=serial_seconds,
+        parallel_seconds=parallel_seconds,
+        serial_cells_per_sec=_per_second(workload.cells, serial_seconds),
+        parallel_cells_per_sec=_per_second(workload.cells, parallel_seconds),
+        speedup=_ratio(serial_seconds, parallel_seconds),
+        identical=serial_json == parallel_json,
+    )
+
+
+def _per_second(cells: int, seconds: float) -> float:
+    return cells / seconds if seconds > 0 else float("inf")
+
+
+def _ratio(serial: float, parallel: float) -> float:
+    return serial / parallel if parallel > 0 else float("inf")
+
+
+def run_bench(
+    workloads: Optional[Sequence[BenchWorkload]] = None,
+    jobs: int = 2,
+    repeats: int = 1,
+    quick: bool = False,
+    clock: Clock = time.perf_counter,
+    observer: Optional[Callable[[BenchRecord], None]] = None,
+) -> List[BenchRecord]:
+    """Time every workload; defaults to the standard catalogue."""
+    if workloads is None:
+        workloads = standard_workloads(quick=quick)
+    records: List[BenchRecord] = []
+    for workload in workloads:
+        record = time_workload(workload, jobs=jobs, repeats=repeats, clock=clock)
+        records.append(record)
+        if observer is not None:
+            observer(record)
+    return records
+
+
+def bench_to_dict(
+    records: Sequence[BenchRecord],
+    quick: bool = False,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """The BENCH_sweep.json payload (schema documented in EXPERIMENTS.md)."""
+    total_cells = sum(record.cells for record in records)
+    total_serial = sum(record.serial_seconds for record in records)
+    total_parallel = sum(record.parallel_seconds for record in records)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "repeats": repeats,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "workloads": [record.to_dict() for record in records],
+        "totals": {
+            "cells": total_cells,
+            "serial_seconds": total_serial,
+            "parallel_seconds": total_parallel,
+            "speedup": _ratio(total_serial, total_parallel),
+            "all_identical": all(record.identical for record in records),
+        },
+    }
+
+
+def write_bench_json(data: Dict[str, Any], path: str) -> str:
+    """Write the bench payload as canonical JSON (see report.to_json); returns the text."""
+    text = to_json(data)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def format_bench_table(records: Sequence[BenchRecord]) -> str:
+    """Fixed-width table of one bench session (for terminal output)."""
+    header = (
+        f"{'workload':<18} {'cells':>6} {'serial s':>9} {'par s':>9} "
+        f"{'ser c/s':>8} {'par c/s':>8} {'speedup':>8} {'same':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in records:
+        lines.append(
+            f"{r.name:<18} {r.cells:>6d} {r.serial_seconds:>9.3f} "
+            f"{r.parallel_seconds:>9.3f} {r.serial_cells_per_sec:>8.1f} "
+            f"{r.parallel_cells_per_sec:>8.1f} {r.speedup:>8.2f} "
+            f"{'yes' if r.identical else 'NO':>5}"
+        )
+    return "\n".join(lines) + "\n"

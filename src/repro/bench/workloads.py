@@ -1,0 +1,92 @@
+"""The benchmark workload catalogue.
+
+A workload is a named :class:`~repro.experiments.sweep.SweepSpec` that the
+harness times end to end (grid expansion, cell execution, aggregation).  The
+standard catalogue covers
+
+* one ``system:<name>`` workload per registered system — a small per-system
+  failure grid, so per-protocol cost regressions are attributable, and
+* ``grid:<N>-system`` (``grid:5-system`` for the standard registry) — the
+  paper's full Table-4 comparison (all registered systems x failure-rate
+  grid x replications), the hot path the parallel executor exists for.
+
+``quick=True`` shrinks replication counts and the rate grid for CI; the cell
+*shape* (which systems, which kind of grid) is the same in both variants so
+quick numbers stay comparable run over run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.sweep import SweepSpec
+from repro.protocols.registry import DeploymentRegistry, SYSTEMS
+
+#: Failure-rate grids (fractions): CI-quick vs the paper-shaped full grid.
+QUICK_RATES = (0.0, 0.2)
+FULL_RATES = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+#: Replications per (system, rate) cell in each variant.
+QUICK_RUNS = 2
+FULL_RUNS = 5
+
+#: Base seed shared by all bench workloads (results must be reproducible so
+#: the serial-vs-parallel identity check is meaningful).
+BENCH_BASE_SEED = 1906
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One named, timed sweep workload."""
+
+    name: str
+    spec: SweepSpec
+
+    @property
+    def cells(self) -> int:
+        """Number of per-replication cells the workload executes."""
+        return self.spec.total_runs
+
+
+def standard_workloads(
+    quick: bool = False,
+    registry: DeploymentRegistry = SYSTEMS,
+) -> List[BenchWorkload]:
+    """The standard catalogue: per-system grids plus the five-system grid."""
+    rates: Sequence[float] = QUICK_RATES if quick else FULL_RATES
+    runs = QUICK_RUNS if quick else FULL_RUNS
+    names = registry.names()
+    workloads = [
+        BenchWorkload(
+            name=f"system:{system}",
+            spec=SweepSpec(
+                systems=(system,),
+                failure_rates=tuple(rates),
+                runs_per_cell=runs,
+                base_seed=BENCH_BASE_SEED,
+            ),
+        )
+        for system in names
+    ]
+    workloads.append(
+        BenchWorkload(
+            name=f"grid:{len(names)}-system",
+            spec=SweepSpec(
+                systems=tuple(names),
+                failure_rates=tuple(rates),
+                runs_per_cell=runs,
+                base_seed=BENCH_BASE_SEED,
+            ),
+        )
+    )
+    return workloads
+
+
+def find_workload(name: str, workloads: Sequence[BenchWorkload]) -> BenchWorkload:
+    """Look a workload up by name; raises :class:`ValueError` with the catalogue."""
+    for workload in workloads:
+        if workload.name == name:
+            return workload
+    known = ", ".join(workload.name for workload in workloads)
+    raise ValueError(f"unknown bench workload {name!r}; available: {known}")

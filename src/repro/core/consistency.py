@@ -99,7 +99,9 @@ class ConsistencyTracker:
             for user_id, record in self._users.items()
         }
 
-    def consistent_users(self, version: Optional[int] = None, at: Optional[float] = None) -> List[str]:
+    def consistent_users(
+        self, version: Optional[int] = None, at: Optional[float] = None
+    ) -> List[str]:
         """Users whose view reached ``version`` (optionally by time ``at``)."""
         out = []
         for user_id, when in self.update_times(version).items():

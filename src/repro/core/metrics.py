@@ -30,8 +30,8 @@ failure-free baseline.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 #: The cross-system minimum number of update messages at 0 % failures
 #: ("m = 7 based on the Jini and FRODO models").
@@ -62,6 +62,34 @@ class RunResult:
     def n_users(self) -> int:
         """Number of measured Users."""
         return len(self.user_update_times)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-serialisable, round-trips through :meth:`from_dict`).
+
+        User ids are sorted so that serialisation is deterministic; all values
+        are JSON-native (ints, floats, strings, ``None``), so a JSON round
+        trip reproduces an equal :class:`RunResult` — the property the sweep
+        checkpoint format relies on.
+        """
+        data = asdict(self)
+        data["user_update_times"] = dict(sorted(self.user_update_times.items()))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_dict` output."""
+        return cls(
+            system=data["system"],
+            failure_rate=data["failure_rate"],
+            seed=data["seed"],
+            change_time=data["change_time"],
+            deadline=data["deadline"],
+            user_update_times=dict(data["user_update_times"]),
+            update_message_count=data["update_message_count"],
+            total_discovery_messages=data["total_discovery_messages"],
+            transport_message_count=data["transport_message_count"],
+            details=dict(data["details"]),
+        )
 
     def latencies(self) -> List[float]:
         """Relative change-propagation latencies L(i, j) for this run."""

@@ -30,9 +30,9 @@ This module encodes Tables 1, 2 and 4 of the paper as queryable data:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 
 class RecoveryCategory(str, Enum):
@@ -145,7 +145,9 @@ class ProtocolProfile:
         return technique in self.techniques and technique not in self.tcp_dependent
 
 
-def expected_update_messages(system: str, n_users: int, with_tcp: bool = False, registries: int = 1) -> int:
+def expected_update_messages(
+    system: str, n_users: int, with_tcp: bool = False, registries: int = 1
+) -> int:
     """Table 2's closed-form update message counts for N Users, 1 Manager.
 
     ``system`` is one of ``"upnp"``, ``"jini"`` or ``"frodo"``.  For Jini,

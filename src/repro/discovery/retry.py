@@ -11,8 +11,8 @@ expired or the service changed again).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
 
 from repro.sim.engine import EventHandle, Simulator
 

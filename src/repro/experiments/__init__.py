@@ -11,7 +11,10 @@ experiment:
   tracker), triggers the service change and extracts a
   :class:`~repro.core.metrics.RunResult`,
 * :mod:`repro.experiments.sweep` — the systems x failure-rates x seeds
-  driver with deterministic per-run seed derivation,
+  driver with deterministic per-run seed derivation, cell-based task
+  expansion and checkpoint/resume,
+* :mod:`repro.experiments.executors` — serial and process-parallel cell
+  execution with ordered (byte-identical) aggregation,
 * :mod:`repro.experiments.report` — JSON / CSV / table emitters.
 
 The ``python -m repro`` CLI (:mod:`repro.__main__`) is a thin wrapper over
@@ -22,12 +25,30 @@ from repro.experiments.scenario import (
     DEFAULT_CHANGE_TIME,
     DEFAULT_SIM_DURATION,
     ScenarioSpec,
+    cell_key,
     run_seed,
 )
-from repro.experiments.runner import ExperimentRunner, RunContext
-from repro.experiments.sweep import SweepResult, SweepSpec, sweep
+from repro.experiments.runner import ExperimentRunner, RunContext, run_scenario
+from repro.experiments.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    make_executor,
+)
+from repro.experiments.sweep import (
+    CheckpointMismatchError,
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    append_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+    sweep,
+)
 from repro.experiments.report import (
     format_summary_table,
+    run_from_dict,
+    run_to_dict,
     summaries_to_csv,
     sweep_to_dict,
     to_json,
@@ -38,13 +59,26 @@ __all__ = [
     "DEFAULT_CHANGE_TIME",
     "DEFAULT_SIM_DURATION",
     "ScenarioSpec",
+    "cell_key",
     "run_seed",
     "ExperimentRunner",
     "RunContext",
+    "run_scenario",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SweepExecutor",
+    "make_executor",
+    "CheckpointMismatchError",
+    "SweepCell",
     "SweepSpec",
     "SweepResult",
+    "append_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "sweep",
     "format_summary_table",
+    "run_from_dict",
+    "run_to_dict",
     "summaries_to_csv",
     "sweep_to_dict",
     "to_json",

@@ -1,0 +1,132 @@
+"""Pluggable sweep execution: serial and process-parallel cell running.
+
+The sweep driver (:mod:`repro.experiments.sweep`) expands its grid into pure
+per-cell tasks — each a :class:`~repro.experiments.scenario.ScenarioSpec`
+carrying its own derived seed — and hands them to an executor.  Executors
+only decide *where* cells run; aggregation order is fixed by the caller, so
+parallel sweeps produce byte-identical output to serial ones:
+
+* :class:`SerialExecutor` runs every cell in submission order in the calling
+  process (the classic single-process sweep path),
+* :class:`ParallelExecutor` fans cells out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker rebuilds a
+  fresh :class:`~repro.experiments.runner.ExperimentRunner` per cell, and
+  every random stream derives from the cell's own seed, so results do not
+  depend on which worker ran a cell or in which order cells finished.
+
+``make_executor(jobs)`` is the CLI-facing factory: ``--jobs 1`` selects the
+serial path, ``--jobs N`` (N > 1) the process pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.metrics import RunResult
+from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.scenario import ScenarioSpec
+from repro.protocols.registry import SYSTEMS
+
+#: Completion callback: ``(index_into_submitted_scenarios, result)``.  Serial
+#: execution invokes it in submission order; parallel execution in completion
+#: order.  Ordered aggregation must therefore happen on the *returned* list
+#: (which is always in submission order), never on callback order.
+CellCallback = Callable[[int, RunResult], None]
+
+
+class SerialExecutor:
+    """Runs cells one after another in the calling process."""
+
+    jobs = 1
+
+    def __init__(self, runner: Optional[ExperimentRunner] = None) -> None:
+        self.runner = runner
+
+    def run_scenarios(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        runner: Optional[ExperimentRunner] = None,
+        on_result: Optional[CellCallback] = None,
+    ) -> List[RunResult]:
+        """Execute ``scenarios`` in order; returns results in the same order."""
+        active = runner or self.runner or ExperimentRunner()
+        results: List[RunResult] = []
+        for index, scenario in enumerate(scenarios):
+            result = active.run(scenario)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ParallelExecutor:
+    """Fans cells out over a process pool (``--jobs N``, N > 1).
+
+    Workers always build against the default :data:`~repro.protocols.registry.SYSTEMS`
+    registry and default network configuration — registry builders are
+    closures and cannot be pickled into workers.  Supplying a customised
+    runner raises :class:`ValueError`; use the serial path for instrumented
+    registries.
+    """
+
+    def __init__(self, jobs: int, runner: Optional[ExperimentRunner] = None) -> None:
+        if jobs < 2:
+            raise ValueError(f"ParallelExecutor needs jobs >= 2, got {jobs}")
+        self.jobs = jobs
+        self.runner = runner
+
+    def run_scenarios(
+        self,
+        scenarios: Sequence[ScenarioSpec],
+        runner: Optional[ExperimentRunner] = None,
+        on_result: Optional[CellCallback] = None,
+    ) -> List[RunResult]:
+        """Execute ``scenarios`` concurrently; returns results in submission order."""
+        runner = runner or self.runner
+        if runner is not None and (
+            type(runner) is not ExperimentRunner
+            or runner.registry is not SYSTEMS
+            or runner.network_config is not None
+        ):
+            raise ValueError(
+                "parallel execution only supports the default registry, network "
+                "configuration and ExperimentRunner type; run customised sweeps "
+                "with jobs=1"
+            )
+        results: List[Optional[RunResult]] = [None] * len(scenarios)
+        if not scenarios:
+            return []
+        # run_scenario is module-level (hence picklable) and rebuilds a fresh
+        # default-registry runner inside the worker: deployment builders are
+        # closures and cannot cross process boundaries.
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(run_scenario, scenario): index
+                for index, scenario in enumerate(scenarios)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                result = future.result()
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+        return [result for result in results if result is not None]
+
+
+#: Either executor satisfies the same structural interface.
+SweepExecutor = Union[SerialExecutor, ParallelExecutor]
+
+
+def make_executor(jobs: int, runner: Optional[ExperimentRunner] = None) -> SweepExecutor:
+    """Executor for ``--jobs``: 1 falls back to the serial in-process path.
+
+    ``runner`` is carried by the returned executor either way, so a
+    customised runner still hits :class:`ParallelExecutor`'s guard instead
+    of being silently replaced by the default registry in the workers.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialExecutor(runner)
+    return ParallelExecutor(jobs, runner)

@@ -12,7 +12,6 @@ import csv
 import io
 import json
 import sys
-from dataclasses import asdict
 from typing import Any, Dict, Sequence, TextIO, Union
 
 from repro.core.metrics import MetricSummary, RunResult
@@ -38,9 +37,12 @@ def summary_to_dict(summary: MetricSummary) -> Dict[str, Any]:
 
 def run_to_dict(run: RunResult) -> Dict[str, Any]:
     """Plain-data form of one run (JSON-serialisable)."""
-    data = asdict(run)
-    data["user_update_times"] = dict(sorted(run.user_update_times.items()))
-    return data
+    return run.to_dict()
+
+
+def run_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_to_dict` (used by sweep checkpoints and tools)."""
+    return RunResult.from_dict(data)
 
 
 def sweep_to_dict(
@@ -48,17 +50,8 @@ def sweep_to_dict(
     include_runs: bool = False,
 ) -> Dict[str, Any]:
     """Plain-data form of a whole sweep."""
-    spec = result.spec
     data: Dict[str, Any] = {
-        "spec": {
-            "systems": list(spec.systems),
-            "failure_rates": [float(rate) for rate in spec.failure_rates],
-            "runs_per_cell": spec.runs_per_cell,
-            "base_seed": spec.base_seed,
-            "n_users": spec.n_users,
-            "change_time": spec.change_time,
-            "deadline": spec.deadline,
-        },
+        "spec": result.spec.grid_dict(),
         "summaries": [summary_to_dict(summary) for summary in result.summaries],
     }
     if include_runs:

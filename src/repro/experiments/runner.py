@@ -140,3 +140,14 @@ class ExperimentRunner:
                 "update_counts_by_kind": stats.update_counts_by_kind,
             },
         )
+
+
+def run_scenario(spec: ScenarioSpec) -> RunResult:
+    """Execute one scenario against the default registry with a fresh runner.
+
+    This is the self-contained form of a sweep cell: everything the run needs
+    is in ``spec`` (including the derived seed), so the function is safe to
+    call from worker processes — the parallel executor
+    (:mod:`repro.experiments.executors`) uses it as its task body.
+    """
+    return ExperimentRunner().run(spec)

@@ -77,3 +77,15 @@ def run_seed(base_seed: int, system: str, failure_rate: float, run_index: int) -
     or replications to a sweep never perturbs the seeds of existing runs.
     """
     return derive_seed(base_seed, "run", system, repr(float(failure_rate)), int(run_index))
+
+
+def cell_key(system: str, failure_rate: float, run_index: int) -> str:
+    """Stable string identity of one sweep cell (system x rate x replication).
+
+    Like :func:`run_seed` the key depends only on the cell coordinates, never
+    on grid position.  (Checkpoint journals additionally pin the full grid:
+    resume requires the identical sweep spec, not merely matching keys.)
+    The rate uses ``repr`` (not a formatted percentage) so distinct floats can
+    never collide.
+    """
+    return f"{system}@{float(failure_rate)!r}#{int(run_index)}"

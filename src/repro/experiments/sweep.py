@@ -7,25 +7,67 @@ the run's cell coordinates (:func:`~repro.experiments.scenario.run_seed`), so
 * the same sweep specification always produces byte-identical results, and
 * extending a sweep (more systems, rates or replications) never changes the
   results of the runs it already contained.
+
+Execution is cell-based: :meth:`SweepSpec.expand` turns the grid into
+:class:`SweepCell` tasks (one per replication, each a pure function of the
+spec), an executor from :mod:`repro.experiments.executors` runs them — in
+process or across a worker pool — and :func:`sweep` re-assembles the results
+in grid order, so parallel output is byte-identical to serial output.
+
+Sweeps can be checkpointed: pass ``checkpoint="path.jsonl"`` and every
+finished cell is appended to the journal immediately (O(1) per cell);
+re-running the same sweep with the same checkpoint path skips the cells the
+journal already contains and produces exactly the output an uninterrupted
+sweep would have produced.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import MetricSummary, RunResult
+from repro.experiments.executors import SerialExecutor, SweepExecutor
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenario import (
     DEFAULT_CHANGE_TIME,
     DEFAULT_SIM_DURATION,
     ScenarioSpec,
+    cell_key,
     run_seed,
 )
 from repro.protocols.registry import DeploymentRegistry, SYSTEMS
 
-#: Observer called after every finished run (progress reporting).
+#: Observer called after every finished run (progress reporting).  With a
+#: parallel executor the observer fires in completion order; aggregated
+#: results are always in grid order regardless.
 RunObserver = Callable[[RunResult], None]
+
+#: Format version of the checkpoint file (bumped on incompatible changes).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a single replication of one grid cell.
+
+    A cell is pure: its scenario (including the derived master seed) depends
+    only on the sweep spec and the cell coordinates, never on execution
+    order, which is what makes cells safe to run in parallel or to skip on
+    resume.
+    """
+
+    system: str
+    failure_rate: float
+    run_index: int
+    scenario: ScenarioSpec
+
+    @property
+    def key(self) -> str:
+        """Stable checkpoint identity (see :func:`~repro.experiments.scenario.cell_key`)."""
+        return cell_key(self.system, self.failure_rate, self.run_index)
 
 
 @dataclass(frozen=True)
@@ -73,6 +115,31 @@ class SweepSpec:
         """All (system, failure rate) cells in execution order."""
         return [(system, rate) for system in self.systems for rate in self.failure_rates]
 
+    def expand(self) -> List[SweepCell]:
+        """The grid as per-replication :class:`SweepCell` tasks, in grid order."""
+        return [
+            SweepCell(
+                system=system,
+                failure_rate=rate,
+                run_index=run_index,
+                scenario=self.scenario(system, rate, run_index),
+            )
+            for system, rate in self.cells()
+            for run_index in range(self.runs_per_cell)
+        ]
+
+    def grid_dict(self) -> Dict[str, Any]:
+        """The grid parameters as plain data (JSON output and checkpoint identity)."""
+        return {
+            "systems": list(self.systems),
+            "failure_rates": [float(rate) for rate in self.failure_rates],
+            "runs_per_cell": self.runs_per_cell,
+            "base_seed": self.base_seed,
+            "n_users": self.n_users,
+            "change_time": self.change_time,
+            "deadline": self.deadline,
+        }
+
     @property
     def total_runs(self) -> int:
         """Number of simulation runs the sweep will execute."""
@@ -103,33 +170,194 @@ class SweepResult:
         raise KeyError(f"no summary for ({system!r}, {failure_rate!r})")
 
 
+# --------------------------------------------------------------------------- checkpoints
+# The checkpoint is an append-only JSONL journal: line 1 is a header with the
+# format version and the grid parameters, every further line is one finished
+# cell ({"key": ..., "run": ...}).  Appending keeps per-cell persistence at
+# O(1) (a full-file rewrite per cell would make checkpointing O(n^2) over a
+# sweep and throttle the parallel coordinator), and a torn final line — the
+# crash case appends exist for — is detected and dropped on load.
+class CheckpointMismatchError(ValueError):
+    """The checkpoint on disk was written by a different sweep specification."""
+
+
+def _registry_fingerprint(registry: DeploymentRegistry) -> List[List[Any]]:
+    return [[entry.name, entry.m_prime] for entry in sorted(registry, key=lambda e: e.name)]
+
+
+def _checkpoint_header(spec: SweepSpec, registry: DeploymentRegistry) -> Dict[str, Any]:
+    return {
+        "version": CHECKPOINT_VERSION,
+        "spec": spec.grid_dict(),
+        # builder_options and the registry change the deployment being
+        # measured, so both join the journal identity.  Both checks are
+        # best-effort: option values need a stable repr (a default object
+        # repr embeds an address and will spuriously refuse resume — the
+        # safe direction), and the registry fingerprint (names + m') cannot
+        # see inside builder closures, so two same-shaped registries with
+        # different builders are indistinguishable.
+        "builder_options": repr(sorted(spec.builder_options.items())),
+        "registry": _registry_fingerprint(registry),
+    }
+
+
+def _record_line(key: str, run: RunResult) -> str:
+    return json.dumps({"key": key, "run": run.to_dict()}, sort_keys=True) + "\n"
+
+
+def append_checkpoint(
+    path: str,
+    spec: SweepSpec,
+    key: str,
+    run: RunResult,
+    registry: DeploymentRegistry = SYSTEMS,
+) -> None:
+    """Append one finished cell to the journal (writing the header first if new)."""
+    fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, "a", encoding="utf-8") as handle:
+        if fresh:
+            handle.write(json.dumps(_checkpoint_header(spec, registry), sort_keys=True) + "\n")
+        handle.write(_record_line(key, run))
+
+
+def save_checkpoint(
+    path: str,
+    spec: SweepSpec,
+    completed: Dict[str, RunResult],
+    registry: DeploymentRegistry = SYSTEMS,
+) -> None:
+    """Atomically rewrite the whole journal (compaction; appends do the hot path)."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_checkpoint_header(spec, registry), sort_keys=True) + "\n")
+        for key, run in sorted(completed.items()):
+            handle.write(_record_line(key, run))
+    os.replace(tmp_path, path)
+
+
+def load_checkpoint(
+    path: str,
+    spec: SweepSpec,
+    registry: DeploymentRegistry = SYSTEMS,
+) -> Dict[str, RunResult]:
+    """Load the finished cells of a previous partial sweep.
+
+    Returns an empty mapping when ``path`` does not exist or is empty (a
+    fresh sweep that will start checkpointing there).  A torn final line
+    (interrupted append) is dropped.  Raises :class:`CheckpointMismatchError`
+    when the journal belongs to a different grid and :class:`ValueError` when
+    it is not a checkpoint journal at all.
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        expected = json.dumps(_checkpoint_header(spec, registry), sort_keys=True)
+        if len(lines) == 1 and expected.startswith(lines[0]):
+            # A crash during the very first append tore the header itself;
+            # the journal carries no results yet, so treat it as fresh.
+            return {}
+        raise ValueError(f"checkpoint {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(header, dict) or "spec" not in header:
+        raise ValueError(f"checkpoint {path!r} is not a sweep checkpoint file")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has version {header.get('version')!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    expected = _checkpoint_header(spec, registry)
+    if any(header.get(field) != expected[field] for field in ("spec", "builder_options")):
+        raise CheckpointMismatchError(
+            f"checkpoint {path!r} was written by a different sweep spec "
+            f"({header['spec']!r}); refusing to mix results"
+        )
+    if header.get("registry") != expected["registry"]:
+        raise CheckpointMismatchError(
+            f"checkpoint {path!r} was written against a different deployment "
+            f"registry ({header.get('registry')!r}); refusing to mix results"
+        )
+    completed: Dict[str, RunResult] = {}
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):  # torn final append from an interrupted sweep
+                break
+            raise ValueError(f"checkpoint {path!r} is corrupt at line {number}") from None
+        try:
+            key = record["key"]
+            run = RunResult.from_dict(record["run"])
+        except (KeyError, TypeError):
+            # Valid JSON of the wrong shape is corruption, not a torn append.
+            raise ValueError(f"checkpoint {path!r} is corrupt at line {number}") from None
+        completed[key] = run
+    return completed
+
+
+# --------------------------------------------------------------------------- driver
 def sweep(
     spec: SweepSpec,
     registry: DeploymentRegistry = SYSTEMS,
     runner: Optional[ExperimentRunner] = None,
     observer: Optional[RunObserver] = None,
+    *,
+    executor: Optional[SweepExecutor] = None,
+    checkpoint: Optional[str] = None,
 ) -> SweepResult:
     """Execute the full grid and aggregate each cell into a :class:`MetricSummary`.
 
     When an explicit ``runner`` is supplied its registry wins: validation and
     the per-system ``m_prime`` lookup must see the same registry the
-    deployments are built from.
+    deployments are built from.  ``executor`` selects where cells run
+    (default: serial, in process); ``checkpoint`` enables resume — completed
+    cells found in the file are skipped, new completions are persisted after
+    every cell, and the aggregated result is byte-identical to an
+    uninterrupted sweep.
     """
     if runner is None:
         runner = ExperimentRunner(registry)
     else:
         registry = runner.registry
     spec.validate(registry)
-    runs: List[RunResult] = []
+    if executor is None:
+        executor = SerialExecutor()
+
+    cells = spec.expand()
+    completed: Dict[str, RunResult] = (
+        load_checkpoint(checkpoint, spec, registry) if checkpoint is not None else {}
+    )
+    if checkpoint is not None and os.path.exists(checkpoint):
+        # Compact the journal before appending: this truncates a torn final
+        # line left by an interrupted append, so new records never extend a
+        # partial line (which would merge into one corrupt record).
+        save_checkpoint(checkpoint, spec, completed, registry)
+    pending = [cell for cell in cells if cell.key not in completed]
+
+    def on_result(pending_index: int, result: RunResult) -> None:
+        key = pending[pending_index].key
+        completed[key] = result
+        if checkpoint is not None:
+            append_checkpoint(checkpoint, spec, key, result, registry)
+        if observer is not None:
+            observer(result)
+
+    executor.run_scenarios(
+        [cell.scenario for cell in pending], runner=runner, on_result=on_result
+    )
+
+    # Ordered aggregation: grid order, independent of execution/completion
+    # order and of which cells were resumed from the checkpoint.
+    runs = [completed[cell.key] for cell in cells]
     summaries: List[MetricSummary] = []
-    for system, rate in spec.cells():
-        cell_runs: List[RunResult] = []
-        for run_index in range(spec.runs_per_cell):
-            result = runner.run(spec.scenario(system, rate, run_index))
-            cell_runs.append(result)
-            if observer is not None:
-                observer(result)
-        runs.extend(cell_runs)
+    for offset, (system, rate) in enumerate(spec.cells()):
+        cell_runs = runs[offset * spec.runs_per_cell : (offset + 1) * spec.runs_per_cell]
         # The deployment's own m' wins over the registry metadata: it scales
         # with the topology (e.g. 3N for UPnP), so sweeps with --users != 5
         # keep the zero-failure degradation at exactly 1.0.

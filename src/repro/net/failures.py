@@ -15,8 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.net.addressing import Address
 from repro.net.network import Network
-from repro.sim.process import Process
 from repro.sim.engine import Simulator
+from repro.sim.process import Process
 
 #: The three outage modes and how they map onto interface directions.
 FAILURE_MODES: Dict[str, Dict[str, bool]] = {

@@ -8,7 +8,7 @@ run; while a direction is down, messages in that direction are lost silently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.net.addressing import Address

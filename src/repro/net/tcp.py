@@ -21,7 +21,7 @@ layers".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.net.messages import Message, MessageLayer

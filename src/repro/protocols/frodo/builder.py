@@ -68,7 +68,9 @@ class FrodoDeployment(ProtocolDeployment):
             "frodo2" if config.subscription_mode is SubscriptionMode.TWO_PARTY else "frodo3"
         )
 
-    def trigger_service_change(self, attributes: Optional[Dict[str, object]] = None) -> ServiceDescription:
+    def trigger_service_change(
+        self, attributes: Optional[Dict[str, object]] = None
+    ) -> ServiceDescription:
         manager: FrodoManager = self.primary_manager  # type: ignore[assignment]
         return manager.change_service(attributes=attributes)
 

@@ -25,7 +25,7 @@ Recovery techniques implemented here:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.consistency import ConsistencyTracker
 from repro.discovery.cache import ServiceCache
@@ -155,7 +155,9 @@ class FrodoCentral(DiscoveryNode):
             self.trace("subscription_purged", subscriber=sub.subscriber, service_id=sub.service_id)
             self._retries.cancel((sub.subscriber, sub.service_id))
         for watcher in self.watchers.purge_expired(now):
-            self.trace("watcher_purged", subscriber=watcher.subscriber, service_id=watcher.service_id)
+            self.trace(
+                "watcher_purged", subscriber=watcher.subscriber, service_id=watcher.service_id
+            )
 
     def _check_takeover(self) -> None:
         """Backup take-over: promote when the Central has been silent too long."""
@@ -224,15 +226,23 @@ class FrodoCentral(DiscoveryNode):
         if not self.active:
             return
         sd: ServiceDescription = message.payload["sd"]
-        changed = self.registrations.store(sd, self.now, lease_duration=self.config.registration_lease)
+        changed = self.registrations.store(
+            sd, self.now, lease_duration=self.config.registration_lease
+        )
         self.manager_addrs[sd.service_id] = message.sender
         self.send_udp(
             message.sender,
             m.REGISTRATION_ACK,
-            {"service_id": sd.service_id, "version": sd.version, "lease": self.config.registration_lease},
+            {
+                "service_id": sd.service_id,
+                "version": sd.version,
+                "lease": self.config.registration_lease,
+            },
             update_related=True,
         )
-        self.trace("registration_stored", service_id=sd.service_id, version=sd.version, changed=changed)
+        self.trace(
+            "registration_stored", service_id=sd.service_id, version=sd.version, changed=changed
+        )
         self._sync_backup()
         if self.config.enable_pr1:
             self._notify_interested(sd)
@@ -332,7 +342,9 @@ class FrodoCentral(DiscoveryNode):
         sd = self.registrations.get_sd(service_id)
         if sd is None:
             return
-        self.send_udp(message.sender, m.SERVICE_UPDATE, {"sd": sd, "from_registry": True}, update_related=True)
+        self.send_udp(
+            message.sender, m.SERVICE_UPDATE, {"sd": sd, "from_registry": True}, update_related=True
+        )
 
     # ------------------------------------------------------------------ subscriptions
     def handle_subscribe_request(self, message: Message) -> None:

@@ -10,7 +10,7 @@ recovery techniques, each individually toggleable for the ablation studies
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -21,7 +21,7 @@ from repro.net.addressing import Address
 from repro.net.messages import Message
 from repro.net.network import Network
 from repro.protocols.frodo import messages as m
-from repro.protocols.frodo.config import FrodoConfig, SubscriptionMode
+from repro.protocols.frodo.config import FrodoConfig
 from repro.protocols.frodo.device_classes import DeviceClass
 from repro.sim.engine import Simulator
 from repro.sim.timers import PeriodicTimer
@@ -62,7 +62,9 @@ class FrodoManager(DiscoveryNode):
         self.inconsistent_users: set[Address] = set()
 
         self._retries = AckRetryScheduler(sim)
-        self._announce_timer = PeriodicTimer(sim, config.node_announce_interval, self._announce_presence)
+        self._announce_timer = PeriodicTimer(
+            sim, config.node_announce_interval, self._announce_presence
+        )
         self._renew_timer = PeriodicTimer(sim, config.renewal_interval, self._renew_registration)
 
     # ------------------------------------------------------------------ properties
@@ -156,7 +158,8 @@ class FrodoManager(DiscoveryNode):
         # Watchdog: if the Central has not confirmed anything for longer than
         # the registration lease, assume we were purged (or it is gone) and
         # fall back to announcements until a Central is (re)discovered.
-        if self.registered and self.now - self.last_central_contact > self.config.registration_lease:
+        lease = self.config.registration_lease
+        if self.registered and self.now - self.last_central_contact > lease:
             self.registered = False
             self.trace("central_lost", central=self.central)
             self._announce_timer.start(0.0)
@@ -173,15 +176,20 @@ class FrodoManager(DiscoveryNode):
             self.central_stale = False
 
     # ------------------------------------------------------------------ the service change
-    def change_service(self, attributes: Optional[Dict[str, object]] = None,
-                       service_type: Optional[str] = None) -> ServiceDescription:
+    def change_service(
+        self,
+        attributes: Optional[Dict[str, object]] = None,
+        service_type: Optional[str] = None,
+    ) -> ServiceDescription:
         """Apply a change to the service description and propagate it.
 
         This is the event the whole experiment revolves around: the new SD
         version must reach every subscribed User, via the Central (3-party)
         or directly (2-party).
         """
-        self.sd = self.sd.with_update(service_type=service_type, attributes=attributes or {"changed_at": self.now})
+        self.sd = self.sd.with_update(
+            service_type=service_type, attributes=attributes or {"changed_at": self.now}
+        )
         if self.tracker is not None:
             self.tracker.record_authoritative(self.sd, self.now)
         self.trace("service_changed", version=self.sd.version)
@@ -246,7 +254,9 @@ class FrodoManager(DiscoveryNode):
         version = message.payload.get("version", 0)
         self._retries.acknowledge(("user_update", message.sender))
         self.inconsistent_users.discard(message.sender)
-        sub = self.subscriptions.get(message.sender, message.payload.get("service_id", self.service_id))
+        sub = self.subscriptions.get(
+            message.sender, message.payload.get("service_id", self.service_id)
+        )
         if sub is not None:
             sub.acked_version = max(sub.acked_version, version)
 

@@ -66,9 +66,13 @@ class FrodoUser(DiscoveryNode):
         self.last_lessor_contact: float = 0.0
 
         self._retries = AckRetryScheduler(sim)
-        self._announce_timer = PeriodicTimer(sim, config.node_announce_interval, self._announce_presence)
+        self._announce_timer = PeriodicTimer(
+            sim, config.node_announce_interval, self._announce_presence
+        )
         self._renew_timer = PeriodicTimer(sim, config.renewal_interval, self._renew_tick)
-        self._rediscovery_timer = PeriodicTimer(sim, config.rediscovery_interval, self._rediscovery_tick)
+        self._rediscovery_timer = PeriodicTimer(
+            sim, config.rediscovery_interval, self._rediscovery_tick
+        )
         self._query_retry = OneShotTimer(sim, self._query_central)
         self._pr5_fallback = OneShotTimer(sim, self._multicast_query)
 
@@ -160,7 +164,9 @@ class FrodoUser(DiscoveryNode):
         )
 
     def handle_service_query_response(self, message: Message) -> None:
-        matches = [sd for sd in message.payload.get("sds", []) if sd is not None and self.query.matches(sd)]
+        matches = [
+            sd for sd in message.payload.get("sds", []) if sd is not None and self.query.matches(sd)
+        ]
         if not matches:
             if not self.has_service:
                 self._query_retry.start(self.config.query_retry_interval)
@@ -255,7 +261,11 @@ class FrodoUser(DiscoveryNode):
         elif not self.subscribed and self.has_service:
             # We hold a service but have no live subscription; keep trying.
             self._subscribe()
-        elif not self.has_service and not self._rediscovery_timer.running and self.service_id is not None:
+        elif (
+            not self.has_service
+            and not self._rediscovery_timer.running
+            and self.service_id is not None
+        ):
             self._start_rediscovery()
 
     def handle_subscription_renew_ack(self, message: Message) -> None:

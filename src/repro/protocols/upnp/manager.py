@@ -17,11 +17,11 @@ from typing import Optional
 from repro.core.consistency import ConsistencyTracker
 from repro.discovery.node import DiscoveryNode, NodeRole, Transports
 from repro.discovery.service import ServiceDescription, ServiceQuery
+from repro.discovery.subscription import SubscriptionTable
 from repro.net.addressing import Address
 from repro.net.messages import Message
 from repro.net.network import Network
 from repro.net.tcp import RemoteException
-from repro.discovery.subscription import SubscriptionTable
 from repro.protocols.upnp import messages as m
 from repro.protocols.upnp.config import UpnpConfig
 from repro.sim.engine import Simulator

@@ -218,7 +218,11 @@ class UpnpControlPoint(DiscoveryNode):
             )
         elif self.has_service and not self.subscribed:
             self._subscribe()
-        elif not self.has_service and not self._rediscovery_timer.running and not self._search_timer.running:
+        elif (
+            not self.has_service
+            and not self._rediscovery_timer.running
+            and not self._search_timer.running
+        ):
             self._start_rediscovery()
 
     def handle_subscribe_renew_ack(self, message: Message) -> None:

@@ -1,0 +1,105 @@
+"""Bench subsystem: workload catalogue, timing harness, BENCH_sweep.json."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchWorkload,
+    bench_to_dict,
+    find_workload,
+    format_bench_table,
+    run_bench,
+    standard_workloads,
+    time_workload,
+    write_bench_json,
+)
+from repro.bench.workloads import FULL_RATES, FULL_RUNS, QUICK_RATES, QUICK_RUNS
+from repro.experiments import SweepSpec
+from repro.protocols.registry import SYSTEMS
+from repro.__main__ import main
+
+TINY = BenchWorkload(
+    name="tiny",
+    spec=SweepSpec(systems=("frodo3",), failure_rates=(0.0,), runs_per_cell=1, base_seed=3),
+)
+
+
+def test_standard_workloads_cover_every_system_and_the_full_grid():
+    for quick, rates, runs in ((True, QUICK_RATES, QUICK_RUNS), (False, FULL_RATES, FULL_RUNS)):
+        workloads = standard_workloads(quick=quick)
+        names = [workload.name for workload in workloads]
+        for system in SYSTEMS.names():
+            assert f"system:{system}" in names
+        grid = workloads[-1]
+        assert grid.name == f"grid:{len(SYSTEMS.names())}-system"
+        assert tuple(grid.spec.systems) == tuple(SYSTEMS.names())
+        for workload in workloads:
+            assert tuple(workload.spec.failure_rates) == tuple(rates)
+            assert workload.spec.runs_per_cell == runs
+            assert workload.cells == workload.spec.total_runs
+
+
+def test_find_workload_rejects_unknown_names():
+    workloads = standard_workloads(quick=True)
+    assert find_workload("system:frodo3", workloads).name == "system:frodo3"
+    with pytest.raises(ValueError, match="unknown bench workload"):
+        find_workload("nope", workloads)
+
+
+def test_time_workload_measures_both_paths_and_checks_identity():
+    record = time_workload(TINY, jobs=2)
+    assert record.name == "tiny"
+    assert record.cells == 1
+    assert record.jobs == 2
+    assert record.identical is True
+    assert record.serial_seconds > 0 and record.parallel_seconds > 0
+    assert record.speedup == pytest.approx(record.serial_seconds / record.parallel_seconds)
+    assert record.serial_cells_per_sec == pytest.approx(1.0 / record.serial_seconds)
+
+
+def test_time_workload_validates_arguments():
+    with pytest.raises(ValueError, match="jobs >= 2"):
+        time_workload(TINY, jobs=1)
+    with pytest.raises(ValueError, match="repeats"):
+        time_workload(TINY, jobs=2, repeats=0)
+
+
+def test_bench_payload_shape_and_file_output(tmp_path):
+    seen = []
+    records = run_bench([TINY], jobs=2, observer=seen.append)
+    assert [record.name for record in seen] == ["tiny"]
+    data = bench_to_dict(records, quick=True, repeats=1)
+    assert data["schema"] == 1
+    assert data["quick"] is True
+    assert set(data["environment"]) == {"python", "machine", "cpus"}
+    assert data["totals"]["cells"] == 1
+    assert data["totals"]["all_identical"] is True
+    (workload,) = data["workloads"]
+    assert workload["name"] == "tiny"
+    path = tmp_path / "bench.json"
+    text = write_bench_json(data, str(path))
+    assert json.loads(path.read_text()) == data
+    assert text.endswith("\n")
+    table = format_bench_table(records)
+    assert "tiny" in table and "speedup" in table
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    out = tmp_path / "BENCH_sweep.json"
+    argv = [
+        "bench",
+        "--quick",
+        "--jobs",
+        "2",
+        "--workload",
+        "system:frodo3",
+        "--out",
+        str(out),
+        "--table",
+    ]
+    assert main(argv) == 0
+    data = json.loads(out.read_text())
+    assert data["workloads"][0]["name"] == "system:frodo3"
+    assert data["workloads"][0]["identical"] is True
+    assert "system:frodo3" in capsys.readouterr().err

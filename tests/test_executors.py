@@ -1,0 +1,96 @@
+"""Executor layer: serial fallback, process-pool parallelism, ordered output.
+
+The contract (EXPERIMENTS.md "Parallel execution") is that the executor only
+decides *where* cells run: aggregated sweep output is byte-identical whether
+cells ran serially, on a process pool, or resumed from a checkpoint.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    ParallelExecutor,
+    ScenarioSpec,
+    SerialExecutor,
+    SweepSpec,
+    make_executor,
+    sweep,
+)
+from repro.experiments.report import sweep_to_dict, to_json
+from repro.net.network import NetworkConfig
+from repro.protocols.registry import DeploymentRegistry
+from repro.__main__ import main
+
+
+def _sweep_json(spec, **kwargs):
+    return to_json(sweep_to_dict(sweep(spec, **kwargs), include_runs=True))
+
+
+def test_make_executor_jobs_one_falls_back_to_serial():
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(2), ParallelExecutor)
+    assert make_executor(4).jobs == 4
+    with pytest.raises(ValueError):
+        make_executor(0)
+    with pytest.raises(ValueError):
+        ParallelExecutor(1)
+
+
+def test_serial_executor_preserves_submission_order():
+    scenarios = [
+        ScenarioSpec(system="frodo3", failure_rate=rate, seed=index)
+        for index, rate in enumerate((0.0, 0.2))
+    ]
+    seen = []
+    results = SerialExecutor().run_scenarios(
+        scenarios, on_result=lambda index, result: seen.append(index)
+    )
+    assert seen == [0, 1]
+    assert [result.failure_rate for result in results] == [0.0, 0.2]
+    assert [result.seed for result in results] == [0, 1]
+
+
+def test_parallel_sweep_byte_identical_to_serial_multi_system_grid():
+    spec = SweepSpec(
+        systems=("frodo3", "upnp", "jini1"),
+        failure_rates=(0.0, 0.2),
+        runs_per_cell=2,
+        base_seed=23,
+    )
+    serial = _sweep_json(spec)
+    parallel = _sweep_json(spec, executor=ParallelExecutor(2))
+    assert parallel == serial
+
+
+def test_parallel_executor_rejects_customised_runner():
+    private = DeploymentRegistry()
+    with pytest.raises(ValueError, match="default registry"):
+        ParallelExecutor(2).run_scenarios([], runner=ExperimentRunner(private))
+    tweaked = ExperimentRunner(network_config=NetworkConfig())
+    with pytest.raises(ValueError, match="default registry"):
+        ParallelExecutor(2).run_scenarios([], runner=tweaked)
+    # make_executor must carry the runner into the guard, not drop it.
+    carried = make_executor(2, ExperimentRunner(private))
+    with pytest.raises(ValueError, match="default registry"):
+        carried.run_scenarios([])
+
+    # An instrumented runner subclass would be silently replaced by the
+    # default runner inside the workers, so the guard rejects it too.
+    class InstrumentedRunner(ExperimentRunner):
+        pass
+
+    with pytest.raises(ValueError, match="ExperimentRunner type"):
+        ParallelExecutor(2).run_scenarios([], runner=InstrumentedRunner())
+
+
+def test_parallel_executor_empty_submission_returns_empty():
+    assert ParallelExecutor(2).run_scenarios([]) == []
+
+
+def test_cli_jobs_flag_is_byte_identical_to_serial(tmp_path):
+    out_serial = tmp_path / "serial.json"
+    out_parallel = tmp_path / "parallel.json"
+    argv = ["sweep", "--system", "frodo3,upnp", "--rates", "0,20", "--runs", "2", "--per-run"]
+    assert main(argv + ["--jobs", "1", "--out", str(out_serial)]) == 0
+    assert main(argv + ["--jobs", "2", "--out", str(out_parallel)]) == 0
+    assert out_serial.read_bytes() == out_parallel.read_bytes()

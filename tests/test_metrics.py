@@ -120,7 +120,13 @@ def test_unicast_messages_count_per_attempt():
     for _ in range(3):
         stats.record_send(
             10.0,
-            Message(sender="a", receiver="b", protocol="jini", kind="service_update", update_related=True),
+            Message(
+                sender="a",
+                receiver="b",
+                protocol="jini",
+                kind="service_update",
+                update_related=True,
+            ),
         )
     assert stats.update_messages() == 3
     assert stats.update_messages(count_copies=True) == 3
@@ -132,7 +138,9 @@ def test_transport_layer_excluded_from_update_count():
     stats = MessageStats()
     stats.record_send(
         5.0,
-        Message(sender="a", receiver="b", protocol="jini", kind="service_update", update_related=True),
+        Message(
+            sender="a", receiver="b", protocol="jini", kind="service_update", update_related=True
+        ),
     )
     stats.record_send(
         5.0,

@@ -5,7 +5,7 @@ import pytest
 from repro.net.addressing import MULTICAST_GROUP
 from repro.net.interfaces import Endpoint
 from repro.net.messages import Message
-from repro.net.network import Network, NetworkConfig
+from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
