@@ -8,11 +8,17 @@ Subcommands
   serial); ``--resume ck.json`` checkpoints every finished cell there and
   skips cells the file already contains.
 * ``run``     — execute a single scenario and print its RunResult as JSON.
+* ``profile`` — cProfile one scenario and print the hottest functions
+  (``python -m repro profile --system frodo3 --users 1000``), the
+  entry point of the profile-first optimisation workflow in EXPERIMENTS.md.
 * ``bench``   — time the standard sweep workloads serial vs parallel and
-  write the perf trajectory file (default ``BENCH_sweep.json``).
+  write the perf trajectory file (default ``BENCH_sweep.json``);
+  ``--baseline`` gates the run against a committed bench file.
 * ``systems`` — list the deployable systems of the protocol registry.
 
 Rates are given in percent (``--rates 0,10,20`` sweeps lambda = 0, 0.1, 0.2).
+The sweep's ``--users`` accepts a comma-separated list of topology sizes
+(``--users 5,100,1000``), forming a full systems x users x rates grid.
 Output is deterministic for a given ``--seed``: re-running the same command
 produces byte-identical JSON.  ``--out -`` writes to stdout.
 """
@@ -20,10 +26,20 @@ produces byte-identical JSON.  ``--out -`` writes to stdout.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
 from typing import List, Optional, Sequence
 
-from repro.bench.harness import bench_to_dict, format_bench_table, run_bench, write_bench_json
+from repro.bench.harness import (
+    bench_to_dict,
+    check_regression,
+    format_bench_table,
+    load_baseline,
+    run_bench,
+    write_bench_json,
+)
 from repro.bench.workloads import find_workload, standard_workloads
 from repro.experiments.executors import make_executor
 from repro.experiments.report import (
@@ -60,9 +76,33 @@ def _parse_rates(text: str) -> List[float]:
     return rates
 
 
-def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+def _parse_users(text: str) -> List[int]:
+    """Parse ``"5,100,1000"`` into a list of topology sizes."""
+    sizes: List[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        size = int(token)
+        if size < 1:
+            raise argparse.ArgumentTypeError(f"users count {token!r} must be >= 1")
+        sizes.append(size)
+    if not sizes:
+        raise argparse.ArgumentTypeError("no user counts given")
+    return sizes
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser, users_grid: bool = False) -> None:
     parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
-    parser.add_argument("--users", type=int, default=5, help="number of Users (default: 5)")
+    if users_grid:
+        parser.add_argument(
+            "--users",
+            type=_parse_users,
+            default=[5],
+            help="comma-separated numbers of Users, a grid axis (default: 5)",
+        )
+    else:
+        parser.add_argument("--users", type=int, default=5, help="number of Users (default: 5)")
     parser.add_argument(
         "--change-time",
         type=float,
@@ -104,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--runs", type=int, default=20, help="replications per cell (default: 20)"
     )
-    _add_scenario_arguments(sweep_parser)
+    _add_scenario_arguments(sweep_parser, users_grid=True)
     sweep_parser.add_argument(
         "--jobs",
         type=int,
@@ -143,6 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="-", help="JSON output path, or - for stdout (default: -)"
     )
 
+    profile_parser = subparsers.add_parser(
+        "profile", help="cProfile one scenario and print the hottest functions"
+    )
+    profile_parser.add_argument("--system", required=True, help="system to deploy")
+    profile_parser.add_argument(
+        "--rate", type=_parse_percent, default=0.0, help="failure rate in percent (default: 0)"
+    )
+    _add_scenario_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--top", type=int, default=25, help="functions to print (default: 25)"
+    )
+    profile_parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    profile_parser.add_argument(
+        "--out", default="-", help="report output path, or - for stdout (default: -)"
+    )
+
     bench_parser = subparsers.add_parser(
         "bench", help="time the standard sweep workloads serial vs parallel"
     )
@@ -169,6 +230,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--table", action="store_true", help="print the bench table to stderr"
     )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BENCH_JSON",
+        help=(
+            "committed bench file to gate against: fail if any matching "
+            "workload's serial throughput regressed beyond --tolerance"
+        ),
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="fractional serial-throughput drop allowed by --baseline (default: 0.20)",
+    )
 
     subparsers.add_parser("systems", help="list deployable systems")
     return parser
@@ -185,7 +261,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         failure_rates=tuple(args.rates),
         runs_per_cell=args.runs,
         base_seed=args.seed,
-        n_users=args.users,
+        n_users=args.users[0],
+        users=tuple(args.users),
         change_time=args.change_time,
         deadline=args.deadline,
     )
@@ -216,6 +293,31 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    spec = ScenarioSpec(
+        system=args.system,
+        failure_rate=args.rate,
+        seed=args.seed,
+        n_users=args.users,
+        change_time=args.change_time,
+        deadline=args.deadline,
+    )
+    runner = ExperimentRunner()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = runner.run(spec)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    header = (
+        f"# profile {spec.describe()}: "
+        f"{result.details['executed_events']} events executed\n"
+    )
+    write_text(header + buffer.getvalue(), args.out)
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     workloads = standard_workloads(quick=args.quick)
     if args.workload:
@@ -228,6 +330,15 @@ def _command_bench(args: argparse.Namespace) -> int:
         broken = ", ".join(record.name for record in records if not record.identical)
         print(f"error: parallel output diverged from serial for: {broken}", file=sys.stderr)
         return 1
+    if args.baseline is not None:
+        failures = check_regression(
+            records, load_baseline(args.baseline), tolerance=args.tolerance
+        )
+        if failures:
+            for failure in failures:
+                print(f"error: perf regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline})", file=sys.stderr)
     return 0
 
 
@@ -247,6 +358,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "run":
             return _command_run(args)
+        if args.command == "profile":
+            return _command_profile(args)
         if args.command == "bench":
             return _command_bench(args)
         return _command_systems()

@@ -1,8 +1,9 @@
 """Benchmark subsystem: timed sweep workloads and the perf trajectory file.
 
 The bench harness runs representative sweep workloads — one small ``system:<name>``
-grid per registered system plus the paper's full comparison grid
-(``grid:<N>-system``) — once
+grid per registered system, the paper's full comparison grid
+(``grid:<N>-system``), and large-topology ``system:<name>@N`` /
+``users-scaling`` workloads that time the simulator core at scale — once
 through the serial executor and once through the parallel executor, records
 wall time, throughput (cells/sec) and parallel speedup, verifies that the
 two executions produce byte-identical JSON, and emits ``BENCH_sweep.json``
@@ -18,7 +19,9 @@ from repro.bench.harness import (
     BENCH_SCHEMA_VERSION,
     BenchRecord,
     bench_to_dict,
+    check_regression,
     format_bench_table,
+    load_baseline,
     run_bench,
     time_workload,
     write_bench_json,
@@ -30,8 +33,10 @@ __all__ = [
     "BenchRecord",
     "BenchWorkload",
     "bench_to_dict",
+    "check_regression",
     "find_workload",
     "format_bench_table",
+    "load_baseline",
     "run_bench",
     "standard_workloads",
     "time_workload",

@@ -14,10 +14,17 @@ repo's recorded perf trajectory (field meanings documented in
 EXPERIMENTS.md).  Timings are measurements, not deterministic output; the
 determinism guarantee applies to the sweep *results* embedded in the check,
 never to the recorded seconds.
+
+:func:`check_regression` compares a fresh bench session against a committed
+baseline file: any workload whose serial throughput dropped by more than the
+tolerance fails the check.  CI runs this against the committed
+``BENCH_sweep.json`` so hot-path regressions surface as a red build instead
+of silently accumulating.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import platform
 import time
@@ -30,7 +37,12 @@ from repro.experiments.report import sweep_to_dict, to_json
 from repro.experiments.sweep import sweep
 
 #: Format version of BENCH_sweep.json (bumped on incompatible changes).
-BENCH_SCHEMA_VERSION = 1
+#: Schema 2 adds per-workload ``users`` (the topology sizes a workload
+#: covers) for the large-N scale workloads.
+BENCH_SCHEMA_VERSION = 2
+
+#: Default fractional serial-throughput drop that fails the regression gate.
+DEFAULT_REGRESSION_TOLERANCE = 0.20
 
 #: Clock used for timing (injectable for tests).
 Clock = Callable[[], float]
@@ -55,11 +67,14 @@ class BenchRecord:
     speedup: float
     #: Whether serial and parallel output were byte-identical (must be True).
     identical: bool
+    #: Topology sizes (number of users) the workload covers (schema 2).
+    users: Tuple[int, ...] = (5,)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "cells": self.cells,
+            "users": list(self.users),
             "jobs": self.jobs,
             "serial_seconds": self.serial_seconds,
             "parallel_seconds": self.parallel_seconds,
@@ -111,6 +126,7 @@ def time_workload(
         parallel_cells_per_sec=_per_second(workload.cells, parallel_seconds),
         speedup=_ratio(serial_seconds, parallel_seconds),
         identical=serial_json == parallel_json,
+        users=tuple(workload.users),
     )
 
 
@@ -179,16 +195,60 @@ def write_bench_json(data: Dict[str, Any], path: str) -> str:
     return text
 
 
+def check_regression(
+    records: Sequence[BenchRecord],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Compare serial throughput against a committed baseline payload.
+
+    Returns one human-readable failure line per workload whose serial
+    cells/sec dropped by more than ``tolerance`` (a fraction) relative to the
+    baseline's figure for the *same workload name*.  Workloads present on
+    only one side are ignored — the gate compares like with like, so the
+    catalogue can grow without invalidating old baselines.  An empty list
+    means the gate passed.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be a fraction in [0, 1), got {tolerance}")
+    baseline_rates = {
+        workload.get("name"): workload.get("serial_cells_per_sec")
+        for workload in baseline.get("workloads", [])
+    }
+    failures: List[str] = []
+    for record in records:
+        reference = baseline_rates.get(record.name)
+        if not isinstance(reference, (int, float)) or reference <= 0:
+            continue
+        floor = reference * (1.0 - tolerance)
+        if record.serial_cells_per_sec < floor:
+            failures.append(
+                f"{record.name}: serial {record.serial_cells_per_sec:.1f} cells/s "
+                f"is below {floor:.1f} (baseline {reference:.1f} "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read a committed BENCH_sweep.json for :func:`check_regression`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "workloads" not in data:
+        raise ValueError(f"{path} is not a bench payload (no 'workloads' key)")
+    return data
+
+
 def format_bench_table(records: Sequence[BenchRecord]) -> str:
     """Fixed-width table of one bench session (for terminal output)."""
     header = (
-        f"{'workload':<18} {'cells':>6} {'serial s':>9} {'par s':>9} "
+        f"{'workload':<20} {'cells':>6} {'serial s':>9} {'par s':>9} "
         f"{'ser c/s':>8} {'par c/s':>8} {'speedup':>8} {'same':>5}"
     )
     lines = [header, "-" * len(header)]
     for r in records:
         lines.append(
-            f"{r.name:<18} {r.cells:>6d} {r.serial_seconds:>9.3f} "
+            f"{r.name:<20} {r.cells:>6d} {r.serial_seconds:>9.3f} "
             f"{r.parallel_seconds:>9.3f} {r.serial_cells_per_sec:>8.1f} "
             f"{r.parallel_cells_per_sec:>8.1f} {r.speedup:>8.2f} "
             f"{'yes' if r.identical else 'NO':>5}"

@@ -5,14 +5,19 @@ harness times end to end (grid expansion, cell execution, aggregation).  The
 standard catalogue covers
 
 * one ``system:<name>`` workload per registered system — a small per-system
-  failure grid, so per-protocol cost regressions are attributable, and
+  failure grid, so per-protocol cost regressions are attributable,
 * ``grid:<N>-system`` (``grid:5-system`` for the standard registry) — the
   paper's full Table-4 comparison (all registered systems x failure-rate
-  grid x replications), the hot path the parallel executor exists for.
+  grid x replications), the hot path the parallel executor exists for,
+* ``system:<name>@N`` — large-topology cells (N = 100 for every system,
+  N = 1000 / 10000 for frodo3), which time the simulator core itself rather
+  than executor overhead, and
+* ``users-scaling`` — one sweep whose ``users`` axis spans topology sizes,
+  timing the N-as-grid-dimension path end to end.
 
-``quick=True`` shrinks replication counts and the rate grid for CI; the cell
-*shape* (which systems, which kind of grid) is the same in both variants so
-quick numbers stay comparable run over run.
+``quick=True`` shrinks replication counts, the rate grid and the largest
+topology sizes for CI; the cell *shape* (which systems, which kind of grid)
+is the same in both variants so quick numbers stay comparable run over run.
 """
 
 from __future__ import annotations
@@ -48,6 +53,11 @@ class BenchWorkload:
         """Number of per-replication cells the workload executes."""
         return self.spec.total_runs
 
+    @property
+    def users(self) -> List[int]:
+        """The topology sizes the workload covers (BENCH_sweep.json schema 2)."""
+        return list(self.spec.users_grid)
+
 
 def standard_workloads(
     quick: bool = False,
@@ -77,6 +87,71 @@ def standard_workloads(
                 failure_rates=tuple(rates),
                 runs_per_cell=runs,
                 base_seed=BENCH_BASE_SEED,
+            ),
+        )
+    )
+    workloads.extend(_scale_workloads(quick, names))
+    return workloads
+
+
+def _scale_workloads(quick: bool, names: Sequence[str]) -> List[BenchWorkload]:
+    """Large-topology workloads (the ``--users`` axis of the bench catalogue).
+
+    These time the simulator core at scale: a handful of cells each, because
+    one N=1000 cell already executes ~1M events.  ``system:frodo3@10000`` is
+    excluded from ``quick`` runs (minutes per cell); everything else is sized
+    to stay CI-friendly.
+    """
+    # Identical spec in both variants (the rate-0 cell is the cheap one):
+    # CI's quick numbers are then directly comparable to the committed full
+    # baseline for every ``@N`` workload.
+    workloads = [
+        BenchWorkload(
+            name=f"system:{system}@100",
+            spec=SweepSpec(
+                systems=(system,),
+                failure_rates=(0.0, 0.2),
+                runs_per_cell=1,
+                base_seed=BENCH_BASE_SEED,
+                n_users=100,
+            ),
+        )
+        for system in names
+    ]
+    workloads.append(
+        BenchWorkload(
+            name="system:frodo3@1000",
+            spec=SweepSpec(
+                systems=("frodo3",),
+                failure_rates=(0.2,),
+                runs_per_cell=1,
+                base_seed=BENCH_BASE_SEED,
+                n_users=1000,
+            ),
+        )
+    )
+    if not quick:
+        workloads.append(
+            BenchWorkload(
+                name="system:frodo3@10000",
+                spec=SweepSpec(
+                    systems=("frodo3",),
+                    failure_rates=(0.2,),
+                    runs_per_cell=1,
+                    base_seed=BENCH_BASE_SEED,
+                    n_users=10000,
+                ),
+            )
+        )
+    workloads.append(
+        BenchWorkload(
+            name="users-scaling",
+            spec=SweepSpec(
+                systems=("frodo3",),
+                failure_rates=(0.2,),
+                runs_per_cell=1,
+                base_seed=BENCH_BASE_SEED,
+                users=(5, 100, 1000) if not quick else (5, 100),
             ),
         )
     )

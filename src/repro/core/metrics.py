@@ -184,6 +184,8 @@ class MetricSummary:
     update_efficiency: float
     efficiency_degradation: float
     mean_update_messages: float
+    #: Topology size of the cell (the sweep's ``--users`` axis); 5 in Table 4.
+    n_users: int = 5
 
     @classmethod
     def from_runs(
@@ -203,6 +205,7 @@ class MetricSummary:
             system=next(iter(systems)),
             failure_rate=next(iter(rates)),
             runs=len(results),
+            n_users=results[0].n_users,
             responsiveness=responsiveness(results),
             effectiveness=effectiveness(results),
             update_efficiency=update_efficiency(results, minimum_messages),

@@ -35,6 +35,16 @@ class NodeRole(str, Enum):
     REGISTRY = "registry"
 
 
+#: Sentinel distinguishing "kind not looked up yet" from "no handler exists"
+#: in the per-node dispatch cache (``None`` is a valid cached answer).
+_UNRESOLVED = object()
+
+# ``is_update_related`` is imported lazily (repro.protocols imports this
+# module via protocols.base, so a module-level import would be circular) and
+# cached here after the first message so later sends skip the import machinery.
+_is_update_related: Optional[Callable[[str, str], bool]] = None
+
+
 @dataclass
 class Transports:
     """The transports available to a protocol node."""
@@ -64,6 +74,9 @@ class DiscoveryNode(Process):
         self.role = role
         self.transports = transports
         self.endpoint = Endpoint(node_id, handler=self._on_message)
+        #: kind -> bound handler (or ``None`` for unhandled kinds), filled
+        #: lazily by :meth:`_on_message`; message dispatch is per delivery.
+        self._dispatch: Dict[str, Optional[Callable[[Message], None]]] = {}
         network.join(self.endpoint)
 
     # ------------------------------------------------------------------ sending
@@ -83,18 +96,20 @@ class DiscoveryNode(Process):
         ``False`` overrides the declaration for a single message.
         """
         if update_related is None:
-            # Imported lazily: repro.protocols imports this module via
-            # protocols.base, so a module-level import would be circular.
-            from repro.protocols.accounting import is_update_related
+            global _is_update_related
+            if _is_update_related is None:
+                from repro.protocols.accounting import is_update_related
 
-            update_related = is_update_related(self.protocol, kind)
+                _is_update_related = is_update_related
+            update_related = _is_update_related(self.protocol, kind)
         return Message(
             sender=self.node_id,
             receiver=receiver,
             protocol=self.protocol,
             kind=kind,
-            payload=dict(payload or {}),
+            payload=None if payload is None else dict(payload),
             update_related=update_related,
+            msg_id=next(self.network.msg_ids),
         )
 
     def send_udp(
@@ -145,7 +160,10 @@ class DiscoveryNode(Process):
     def _on_message(self, message: Message) -> None:
         if self.stopped:
             return
-        handler = getattr(self, f"handle_{message.kind}", None)
+        kind = message.kind
+        handler = self._dispatch.get(kind, _UNRESOLVED)
+        if handler is _UNRESOLVED:
+            handler = self._dispatch[kind] = getattr(self, f"handle_{kind}", None)
         if handler is None:
             self.on_unhandled(message)
             return
@@ -153,7 +171,8 @@ class DiscoveryNode(Process):
 
     def on_unhandled(self, message: Message) -> None:
         """Hook for messages without a dedicated handler (ignored by default)."""
-        self.trace("unhandled_message", kind=message.kind, sender=message.sender)
+        if self.sim.tracer.enabled:
+            self.trace("unhandled_message", kind=message.kind, sender=message.sender)
 
     # ------------------------------------------------------------------ interface state
     @property

@@ -28,7 +28,7 @@ from repro.experiments.scenario import (
     cell_key,
     run_seed,
 )
-from repro.experiments.runner import ExperimentRunner, RunContext, run_scenario
+from repro.experiments.runner import ExperimentRunner, RunContext, RunnerSpec, run_scenario
 from repro.experiments.executors import (
     ParallelExecutor,
     SerialExecutor,
@@ -63,6 +63,7 @@ __all__ = [
     "run_seed",
     "ExperimentRunner",
     "RunContext",
+    "RunnerSpec",
     "run_scenario",
     "ParallelExecutor",
     "SerialExecutor",

@@ -9,22 +9,29 @@ parallel sweeps produce byte-identical output to serial ones:
 * :class:`SerialExecutor` runs every cell in submission order in the calling
   process (the classic single-process sweep path),
 * :class:`ParallelExecutor` fans cells out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker rebuilds a
-  fresh :class:`~repro.experiments.runner.ExperimentRunner` per cell, and
-  every random stream derives from the cell's own seed, so results do not
-  depend on which worker ran a cell or in which order cells finished.
+  :class:`concurrent.futures.ProcessPoolExecutor` with *warm workers*: a pool
+  initializer builds one :class:`~repro.experiments.runner.ExperimentRunner`
+  per worker process (from a picklable
+  :class:`~repro.experiments.runner.RunnerSpec`), cells are submitted in
+  chunks to amortise task-dispatch overhead, and workers stream back compact
+  ``RunResult.to_dict()`` payloads instead of pickled objects.  Every random
+  stream derives from the cell's own seed, so results do not depend on which
+  worker ran a cell, how cells were chunked, or in which order chunks
+  finished.
 
 ``make_executor(jobs)`` is the CLI-facing factory: ``--jobs 1`` selects the
-serial path, ``--jobs N`` (N > 1) the process pool.
+serial path, ``--jobs N`` (N > 1) the process pool.  Customised registries
+ride along by handing the pool a :class:`RunnerSpec` (an importable
+``"module:attr"`` reference) instead of a closure-carrying runner.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.metrics import RunResult
-from repro.experiments.runner import ExperimentRunner, run_scenario
+from repro.experiments.runner import ExperimentRunner, RunnerSpec
 from repro.experiments.scenario import ScenarioSpec
 from repro.protocols.registry import SYSTEMS
 
@@ -33,6 +40,10 @@ from repro.protocols.registry import SYSTEMS
 #: order.  Ordered aggregation must therefore happen on the *returned* list
 #: (which is always in submission order), never on callback order.
 CellCallback = Callable[[int, RunResult], None]
+
+#: Chunks submitted per worker: enough that a slow chunk cannot leave workers
+#: idle for long, few enough that dispatch overhead stays amortised.
+_CHUNKS_PER_WORKER = 4
 
 
 class SerialExecutor:
@@ -60,21 +71,69 @@ class SerialExecutor:
         return results
 
 
-class ParallelExecutor:
-    """Fans cells out over a process pool (``--jobs N``, N > 1).
+# ----------------------------------------------------------------- worker side
+#: Per-worker-process runner, built once by the pool initializer and reused
+#: for every chunk the worker executes (the "warm worker" amortisation).
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
 
-    Workers always build against the default :data:`~repro.protocols.registry.SYSTEMS`
-    registry and default network configuration — registry builders are
-    closures and cannot be pickled into workers.  Supplying a customised
-    runner raises :class:`ValueError`; use the serial path for instrumented
-    registries.
+
+def _init_worker(runner_spec: RunnerSpec) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner_spec.resolve()
+
+
+def _run_chunk(scenarios: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
+    """Task body: run a chunk of cells on the warm runner, stream plain dicts.
+
+    Returning ``RunResult.to_dict()`` payloads keeps the result pickle small
+    and JSON-shaped (the same representation the sweep checkpoint uses), and
+    the parent rebuilds full :class:`RunResult` objects via ``from_dict`` —
+    a lossless round trip by contract.
+    """
+    runner = _WORKER_RUNNER
+    if runner is None:  # pool built without initializer (defensive)
+        runner = ExperimentRunner()
+    return [runner.run(scenario).to_dict() for scenario in scenarios]
+
+
+class ParallelExecutor:
+    """Fans cells out over a process pool of warm workers (``--jobs N``, N > 1).
+
+    Workers default to the standard :data:`~repro.protocols.registry.SYSTEMS`
+    registry and network configuration.  A customised deployment is supported
+    by passing ``runner_spec`` — a picklable, importable recipe — because
+    registry builders themselves are closures and cannot cross process
+    boundaries.  Supplying a customised ``runner`` *object* without a spec
+    still raises :class:`ValueError` (the old ``--jobs 1`` restriction, now
+    with an escape hatch).
     """
 
-    def __init__(self, jobs: int, runner: Optional[ExperimentRunner] = None) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        runner: Optional[ExperimentRunner] = None,
+        runner_spec: Optional[RunnerSpec] = None,
+    ) -> None:
         if jobs < 2:
             raise ValueError(f"ParallelExecutor needs jobs >= 2, got {jobs}")
         self.jobs = jobs
         self.runner = runner
+        self.runner_spec = runner_spec
+
+    def _effective_spec(self, runner: Optional[ExperimentRunner]) -> RunnerSpec:
+        if self.runner_spec is not None:
+            return self.runner_spec
+        if runner is not None and (
+            type(runner) is not ExperimentRunner
+            or runner.registry is not SYSTEMS
+            or runner.network_config is not None
+        ):
+            raise ValueError(
+                "parallel execution cannot pickle a customised runner into "
+                "workers; pass a RunnerSpec (an importable 'module:attr' "
+                "registry reference) or run with jobs=1"
+            )
+        return RunnerSpec()
 
     def run_scenarios(
         self,
@@ -83,34 +142,32 @@ class ParallelExecutor:
         on_result: Optional[CellCallback] = None,
     ) -> List[RunResult]:
         """Execute ``scenarios`` concurrently; returns results in submission order."""
-        runner = runner or self.runner
-        if runner is not None and (
-            type(runner) is not ExperimentRunner
-            or runner.registry is not SYSTEMS
-            or runner.network_config is not None
-        ):
-            raise ValueError(
-                "parallel execution only supports the default registry, network "
-                "configuration and ExperimentRunner type; run customised sweeps "
-                "with jobs=1"
-            )
-        results: List[Optional[RunResult]] = [None] * len(scenarios)
+        runner_spec = self._effective_spec(runner or self.runner)
         if not scenarios:
             return []
-        # run_scenario is module-level (hence picklable) and rebuilds a fresh
-        # default-registry runner inside the worker: deployment builders are
-        # closures and cannot cross process boundaries.
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        # Chunked submission: one future per chunk (not per cell) amortises
+        # pool dispatch and result-pickling overhead over many cells.
+        chunk_size = max(1, -(-len(scenarios) // (self.jobs * _CHUNKS_PER_WORKER)))
+        chunks = [
+            (start, list(scenarios[start : start + chunk_size]))
+            for start in range(0, len(scenarios), chunk_size)
+        ]
+        results: List[Optional[RunResult]] = [None] * len(scenarios)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)),
+            initializer=_init_worker,
+            initargs=(runner_spec,),
+        ) as pool:
             futures = {
-                pool.submit(run_scenario, scenario): index
-                for index, scenario in enumerate(scenarios)
+                pool.submit(_run_chunk, chunk): start for start, chunk in chunks
             }
             for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                result = future.result()
-                results[index] = result
-                if on_result is not None:
-                    on_result(index, result)
+                start = futures[future]
+                for offset, payload in enumerate(future.result()):
+                    result = RunResult.from_dict(payload)
+                    results[start + offset] = result
+                    if on_result is not None:
+                        on_result(start + offset, result)
         return [result for result in results if result is not None]
 
 
@@ -118,15 +175,23 @@ class ParallelExecutor:
 SweepExecutor = Union[SerialExecutor, ParallelExecutor]
 
 
-def make_executor(jobs: int, runner: Optional[ExperimentRunner] = None) -> SweepExecutor:
+def make_executor(
+    jobs: int,
+    runner: Optional[ExperimentRunner] = None,
+    runner_spec: Optional[RunnerSpec] = None,
+) -> SweepExecutor:
     """Executor for ``--jobs``: 1 falls back to the serial in-process path.
 
     ``runner`` is carried by the returned executor either way, so a
     customised runner still hits :class:`ParallelExecutor`'s guard instead
-    of being silently replaced by the default registry in the workers.
+    of being silently replaced by the default registry in the workers;
+    ``runner_spec`` is the picklable alternative that lets customised
+    registries run in parallel.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
+        if runner is None and runner_spec is not None:
+            runner = runner_spec.resolve()
         return SerialExecutor(runner)
-    return ParallelExecutor(jobs, runner)
+    return ParallelExecutor(jobs, runner, runner_spec)

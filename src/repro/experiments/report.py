@@ -17,10 +17,11 @@ from typing import Any, Dict, Sequence, TextIO, Union
 from repro.core.metrics import MetricSummary, RunResult
 from repro.experiments.sweep import SweepResult
 
-#: Column order of the summary CSV (one row per (system, failure rate) cell).
+#: Column order of the summary CSV (one row per (system, users, failure rate) cell).
 SUMMARY_FIELDS = [
     "system",
     "failure_rate",
+    "n_users",
     "runs",
     "responsiveness",
     "effectiveness",
@@ -76,11 +77,14 @@ def summaries_to_csv(summaries: Sequence[MetricSummary]) -> str:
 
 def format_summary_table(summaries: Sequence[MetricSummary]) -> str:
     """Fixed-width table for terminal output."""
-    header = f"{'system':<10} {'lambda':>7} {'runs':>5} {'R':>7} {'F':>7} {'E':>7} {'G':>7} {'msgs':>8}"
+    header = (
+        f"{'system':<10} {'lambda':>7} {'users':>6} {'runs':>5} "
+        f"{'R':>7} {'F':>7} {'E':>7} {'G':>7} {'msgs':>8}"
+    )
     lines = [header, "-" * len(header)]
     for s in summaries:
         lines.append(
-            f"{s.system:<10} {s.failure_rate:>6.0%} {s.runs:>5d} "
+            f"{s.system:<10} {s.failure_rate:>6.0%} {s.n_users:>6d} {s.runs:>5d} "
             f"{s.responsiveness:>7.4f} {s.effectiveness:>7.4f} "
             f"{s.update_efficiency:>7.4f} {s.efficiency_degradation:>7.4f} "
             f"{s.mean_update_messages:>8.1f}"

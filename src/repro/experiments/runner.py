@@ -18,8 +18,9 @@ tracker and the network's message statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.core.consistency import ConsistencyTracker
 from repro.core.metrics import RunResult
@@ -151,3 +152,58 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
     (:mod:`repro.experiments.executors`) uses it as its task body.
     """
     return ExperimentRunner().run(spec)
+
+
+#: Default importable reference of the standard deployment registry.
+DEFAULT_REGISTRY_REF = "repro.protocols.registry:SYSTEMS"
+
+
+@dataclass(frozen=True)
+class RunnerSpec:
+    """Picklable recipe for building an :class:`ExperimentRunner` anywhere.
+
+    Deployment builders are closures and cannot cross process boundaries, so
+    a customised registry cannot be shipped to pool workers directly.  A
+    :class:`RunnerSpec` ships the *recipe* instead: an importable
+    ``"module:attr"`` reference that resolves — in whatever process — to
+    either a :class:`~repro.protocols.registry.DeploymentRegistry` instance
+    or a zero-setup factory callable returning one (``registry_options`` are
+    passed to the factory), plus an optional
+    :class:`~repro.net.network.NetworkConfig`.  This is what lifts the old
+    "customised registries must use ``--jobs 1``" restriction.
+    """
+
+    #: ``"module:attr"`` naming a registry instance or a registry factory.
+    registry_ref: str = DEFAULT_REGISTRY_REF
+    #: Keyword options for the factory (must be empty for plain instances).
+    registry_options: Dict[str, Any] = field(default_factory=dict)
+    network_config: Optional[NetworkConfig] = None
+
+    def resolve(self) -> ExperimentRunner:
+        """Import the registry (or call the factory) and build the runner."""
+        module_name, sep, attr = self.registry_ref.partition(":")
+        if not sep or not module_name or not attr:
+            raise ValueError(
+                f"registry_ref must look like 'package.module:attribute', "
+                f"got {self.registry_ref!r}"
+            )
+        target = getattr(importlib.import_module(module_name), attr)
+        if isinstance(target, DeploymentRegistry):
+            if self.registry_options:
+                raise ValueError(
+                    f"{self.registry_ref!r} is a registry instance; "
+                    f"registry_options only apply to factories"
+                )
+            registry = target
+        elif callable(target):
+            registry = target(**self.registry_options)
+            if not isinstance(registry, DeploymentRegistry):
+                raise TypeError(
+                    f"factory {self.registry_ref!r} returned "
+                    f"{type(registry).__name__}, expected a DeploymentRegistry"
+                )
+        else:
+            raise TypeError(
+                f"{self.registry_ref!r} is neither a DeploymentRegistry nor a factory"
+            )
+        return ExperimentRunner(registry, network_config=self.network_config)

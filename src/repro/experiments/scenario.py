@@ -79,8 +79,8 @@ def run_seed(base_seed: int, system: str, failure_rate: float, run_index: int) -
     return derive_seed(base_seed, "run", system, repr(float(failure_rate)), int(run_index))
 
 
-def cell_key(system: str, failure_rate: float, run_index: int) -> str:
-    """Stable string identity of one sweep cell (system x rate x replication).
+def cell_key(system: str, failure_rate: float, run_index: int, n_users: int = 5) -> str:
+    """Stable string identity of one sweep cell (system x users x rate x replication).
 
     Like :func:`run_seed` the key depends only on the cell coordinates, never
     on grid position.  (Checkpoint journals additionally pin the full grid:
@@ -88,4 +88,4 @@ def cell_key(system: str, failure_rate: float, run_index: int) -> str:
     The rate uses ``repr`` (not a formatted percentage) so distinct floats can
     never collide.
     """
-    return f"{system}@{float(failure_rate)!r}#{int(run_index)}"
+    return f"{system}~{int(n_users)}u@{float(failure_rate)!r}#{int(run_index)}"

@@ -1,8 +1,9 @@
 """Failure-rate sweeps (the paper's experiment proper).
 
-A sweep is the cross product *systems x failure rates x replications*.  Every
-run's master seed is derived deterministically from the sweep's base seed and
-the run's cell coordinates (:func:`~repro.experiments.scenario.run_seed`), so
+A sweep is the cross product *systems x topology sizes x failure rates x
+replications*.  Every run's master seed is derived deterministically from the
+sweep's base seed and the run's cell coordinates
+(:func:`~repro.experiments.scenario.run_seed`), so
 
 * the same sweep specification always produces byte-identical results, and
 * extending a sweep (more systems, rates or replications) never changes the
@@ -46,7 +47,9 @@ from repro.protocols.registry import DeploymentRegistry, SYSTEMS
 RunObserver = Callable[[RunResult], None]
 
 #: Format version of the checkpoint file (bumped on incompatible changes).
-CHECKPOINT_VERSION = 1
+#: Version 2: cell keys carry the topology size (the ``users`` axis) and the
+#: grid header records the full users grid.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -63,11 +66,12 @@ class SweepCell:
     failure_rate: float
     run_index: int
     scenario: ScenarioSpec
+    n_users: int = 5
 
     @property
     def key(self) -> str:
         """Stable checkpoint identity (see :func:`~repro.experiments.scenario.cell_key`)."""
-        return cell_key(self.system, self.failure_rate, self.run_index)
+        return cell_key(self.system, self.failure_rate, self.run_index, self.n_users)
 
 
 @dataclass(frozen=True)
@@ -77,14 +81,28 @@ class SweepSpec:
     systems: Sequence[str] = ("frodo3",)
     #: Failure rates as fractions in [0, 1] (the paper sweeps 0 % .. 80 %).
     failure_rates: Sequence[float] = (0.0,)
-    #: Replications per (system, rate) cell.
+    #: Replications per (system, users, rate) cell.
     runs_per_cell: int = 20
     #: Base seed every per-run seed is derived from.
     base_seed: int = 0
+    #: Topology size when ``users`` is not given (Table 4 uses 5).
     n_users: int = 5
+    #: Optional topology-size grid (the ``--users`` axis).  ``None`` means a
+    #: single size, :attr:`n_users`.  Seeds are shared across sizes of the
+    #: same (system, rate, replication) — :func:`run_seed` deliberately does
+    #: not hash the size, so adding sizes to a sweep never perturbs the seeds
+    #: (and therefore results) of the sizes it already contained.
+    users: Optional[Sequence[int]] = None
     change_time: float = DEFAULT_CHANGE_TIME
     deadline: float = DEFAULT_SIM_DURATION
     builder_options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def users_grid(self) -> Tuple[int, ...]:
+        """The topology sizes the sweep covers, in execution order."""
+        if self.users:
+            return tuple(int(n) for n in self.users)
+        return (self.n_users,)
 
     def validate(self, registry: DeploymentRegistry = SYSTEMS) -> "SweepSpec":
         """Check the grid against the registry before spending any cycles."""
@@ -94,26 +112,42 @@ class SweepSpec:
             raise ValueError("sweep needs at least one failure rate")
         if self.runs_per_cell < 1:
             raise ValueError("runs_per_cell must be >= 1")
+        if len(set(self.users_grid)) != len(self.users_grid):
+            raise ValueError(f"duplicate sizes in users grid {self.users_grid!r}")
+        for n in self.users_grid:
+            if n < 1:
+                raise ValueError(f"users grid sizes must be >= 1, got {n!r}")
         for system in self.systems:
             registry.get(system)  # raises UnknownSystemError with the known names
         self.scenario(self.systems[0], self.failure_rates[0], 0).validate()
         return self
 
-    def scenario(self, system: str, failure_rate: float, run_index: int) -> ScenarioSpec:
+    def scenario(
+        self,
+        system: str,
+        failure_rate: float,
+        run_index: int,
+        n_users: Optional[int] = None,
+    ) -> ScenarioSpec:
         """The :class:`ScenarioSpec` of one cell replication."""
         return ScenarioSpec(
             system=system,
             failure_rate=failure_rate,
             seed=run_seed(self.base_seed, system, failure_rate, run_index),
-            n_users=self.n_users,
+            n_users=self.n_users if n_users is None else n_users,
             change_time=self.change_time,
             deadline=self.deadline,
             builder_options=dict(self.builder_options),
         )
 
-    def cells(self) -> List[Tuple[str, float]]:
-        """All (system, failure rate) cells in execution order."""
-        return [(system, rate) for system in self.systems for rate in self.failure_rates]
+    def cells(self) -> List[Tuple[str, int, float]]:
+        """All (system, users, failure rate) cells in execution order."""
+        return [
+            (system, n, rate)
+            for system in self.systems
+            for n in self.users_grid
+            for rate in self.failure_rates
+        ]
 
     def expand(self) -> List[SweepCell]:
         """The grid as per-replication :class:`SweepCell` tasks, in grid order."""
@@ -122,9 +156,10 @@ class SweepSpec:
                 system=system,
                 failure_rate=rate,
                 run_index=run_index,
-                scenario=self.scenario(system, rate, run_index),
+                scenario=self.scenario(system, rate, run_index, n),
+                n_users=n,
             )
-            for system, rate in self.cells()
+            for system, n, rate in self.cells()
             for run_index in range(self.runs_per_cell)
         ]
 
@@ -136,6 +171,7 @@ class SweepSpec:
             "runs_per_cell": self.runs_per_cell,
             "base_seed": self.base_seed,
             "n_users": self.n_users,
+            "users": list(self.users_grid),
             "change_time": self.change_time,
             "deadline": self.deadline,
         }
@@ -143,7 +179,12 @@ class SweepSpec:
     @property
     def total_runs(self) -> int:
         """Number of simulation runs the sweep will execute."""
-        return len(self.systems) * len(self.failure_rates) * self.runs_per_cell
+        return (
+            len(self.systems)
+            * len(self.users_grid)
+            * len(self.failure_rates)
+            * self.runs_per_cell
+        )
 
 
 @dataclass(frozen=True)
@@ -154,20 +195,30 @@ class SweepResult:
     runs: List[RunResult]
     summaries: List[MetricSummary]
 
-    def cell_runs(self, system: str, failure_rate: float) -> List[RunResult]:
-        """The replications of one (system, rate) cell."""
+    def cell_runs(
+        self, system: str, failure_rate: float, n_users: Optional[int] = None
+    ) -> List[RunResult]:
+        """The replications of one cell (all sizes unless ``n_users`` is given)."""
         return [
             run
             for run in self.runs
-            if run.system == system and run.failure_rate == failure_rate
+            if run.system == system
+            and run.failure_rate == failure_rate
+            and (n_users is None or run.n_users == n_users)
         ]
 
-    def summary_for(self, system: str, failure_rate: float) -> MetricSummary:
-        """The metric summary of one cell."""
+    def summary_for(
+        self, system: str, failure_rate: float, n_users: Optional[int] = None
+    ) -> MetricSummary:
+        """The metric summary of one cell (first matching size unless ``n_users`` is given)."""
         for summary in self.summaries:
-            if summary.system == system and summary.failure_rate == failure_rate:
+            if (
+                summary.system == system
+                and summary.failure_rate == failure_rate
+                and (n_users is None or summary.n_users == n_users)
+            ):
                 return summary
-        raise KeyError(f"no summary for ({system!r}, {failure_rate!r})")
+        raise KeyError(f"no summary for ({system!r}, {failure_rate!r}, users={n_users!r})")
 
 
 # --------------------------------------------------------------------------- checkpoints
@@ -356,7 +407,7 @@ def sweep(
     # order and of which cells were resumed from the checkpoint.
     runs = [completed[cell.key] for cell in cells]
     summaries: List[MetricSummary] = []
-    for offset, (system, rate) in enumerate(spec.cells()):
+    for offset, (system, _n, _rate) in enumerate(spec.cells()):
         cell_runs = runs[offset * spec.runs_per_cell : (offset + 1) * spec.runs_per_cell]
         # The deployment's own m' wins over the registry metadata: it scales
         # with the topology (e.g. 3N for UPnP), so sweeps with --users != 5

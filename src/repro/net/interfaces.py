@@ -95,12 +95,15 @@ class Endpoint:
     def deliver(self, message: Message) -> bool:
         """Deliver ``message`` to the handler if the receiver is up.
 
-        Returns ``True`` when the message reached the handler.
+        Returns ``True`` when the message reached the handler.  Reads the
+        interface flags directly — this runs once per delivery attempt.
         """
-        if not self.interface.can_receive():
-            self.interface.counters.dropped_rx += 1
+        interface = self.interface
+        if not interface.rx_up:
+            interface.counters.dropped_rx += 1
             return False
-        self.interface.counters.received += 1
-        if self._handler is not None:
-            self._handler(message)
+        interface.counters.received += 1
+        handler = self._handler
+        if handler is not None:
+            handler(message)
         return True

@@ -1,7 +1,7 @@
 """Message record passed between nodes.
 
 Messages carry a protocol-specific ``kind`` string plus an arbitrary payload
-dictionary.  Two flags drive the paper's message accounting:
+mapping.  Two flags drive the paper's message accounting:
 
 * ``layer`` distinguishes service-discovery-layer messages from transport
   overhead (TCP segments, acknowledgements).  Table 2 and the Efficiency
@@ -11,18 +11,34 @@ dictionary.  Two flags drive the paper's message accounting:
 * ``update_related`` marks messages that are part of propagating a changed
   service description; these are the messages counted as *y* in the Update
   Efficiency / Efficiency Degradation metrics.
+
+:class:`Message` is a ``__slots__`` class on the simulation hot path: a
+large-N run allocates one per delivery attempt, so it avoids a ``__dict__``
+and shares a single immutable empty mapping for the (very common) payloadless
+message.
+
+Message ids are normally drawn from the run-scoped counter owned by
+:class:`~repro.net.network.Network` (``network.msg_ids``) so that ids are
+deterministic per run; the module-level fallback counter exists only for
+messages constructed without a network at hand (tests, :meth:`Message.reply`
+/ :meth:`Message.clone` without an explicit id).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from types import MappingProxyType
+from typing import Any, Mapping, Optional
 
 from repro.net.addressing import Address, MULTICAST_GROUP
 
+#: Process-wide fallback id source; run paths use ``Network.msg_ids`` instead.
 _MSG_COUNTER = itertools.count(1)
+
+#: Shared read-only payload for messages that carry no content.  Payloads are
+#: never mutated after construction, so one instance can back them all.
+EMPTY_PAYLOAD: Mapping[str, Any] = MappingProxyType({})
 
 
 class MessageLayer(str, Enum):
@@ -32,7 +48,6 @@ class MessageLayer(str, Enum):
     TRANSPORT = "transport"
 
 
-@dataclass
 class Message:
     """A single protocol message.
 
@@ -47,6 +62,7 @@ class Message:
         Protocol-specific message type, e.g. ``"service_update"``.
     payload:
         Arbitrary content (service descriptions, lease durations, ...).
+        Treat as read-only; payloadless messages share :data:`EMPTY_PAYLOAD`.
     update_related:
         Counted towards *y* in the efficiency metrics when sent at or after
         the service-change time.
@@ -54,18 +70,47 @@ class Message:
         Discovery-layer vs transport-layer message (see module docstring).
     size_bytes:
         Nominal size; only used for reporting, not for timing.
+    msg_id:
+        Unique id; pass one drawn from ``network.msg_ids`` for run-scoped
+        determinism (the fallback counter is process-wide).
     """
 
-    sender: Address
-    receiver: Address
-    protocol: str
-    kind: str
-    payload: Dict[str, Any] = field(default_factory=dict)
-    update_related: bool = False
-    layer: MessageLayer = MessageLayer.DISCOVERY
-    size_bytes: int = 256
-    msg_id: int = field(default_factory=lambda: next(_MSG_COUNTER))
-    in_reply_to: Optional[int] = None
+    __slots__ = (
+        "sender",
+        "receiver",
+        "protocol",
+        "kind",
+        "payload",
+        "update_related",
+        "layer",
+        "size_bytes",
+        "msg_id",
+        "in_reply_to",
+    )
+
+    def __init__(
+        self,
+        sender: Address,
+        receiver: Address,
+        protocol: str,
+        kind: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        update_related: bool = False,
+        layer: MessageLayer = MessageLayer.DISCOVERY,
+        size_bytes: int = 256,
+        msg_id: Optional[int] = None,
+        in_reply_to: Optional[int] = None,
+    ) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self.protocol = protocol
+        self.kind = kind
+        self.payload = EMPTY_PAYLOAD if payload is None else payload
+        self.update_related = update_related
+        self.layer = layer
+        self.size_bytes = size_bytes
+        self.msg_id = next(_MSG_COUNTER) if msg_id is None else msg_id
+        self.in_reply_to = in_reply_to
 
     @property
     def is_multicast(self) -> bool:
@@ -75,7 +120,7 @@ class Message:
     def reply(
         self,
         kind: str,
-        payload: Optional[Dict[str, Any]] = None,
+        payload: Optional[Mapping[str, Any]] = None,
         update_related: bool = False,
         **extra: Any,
     ) -> "Message":
@@ -85,23 +130,24 @@ class Message:
             receiver=self.sender,
             protocol=self.protocol,
             kind=kind,
-            payload=dict(payload or {}),
+            payload=payload,
             update_related=update_related,
             in_reply_to=self.msg_id,
             **extra,
         )
 
-    def clone(self) -> "Message":
+    def clone(self, msg_id: Optional[int] = None) -> "Message":
         """Copy of this message with a fresh message id (used for retransmissions)."""
         return Message(
             sender=self.sender,
             receiver=self.receiver,
             protocol=self.protocol,
             kind=self.kind,
-            payload=dict(self.payload),
+            payload=self.payload,
             update_related=self.update_related,
             layer=self.layer,
             size_bytes=self.size_bytes,
+            msg_id=msg_id,
             in_reply_to=self.in_reply_to,
         )
 
@@ -109,3 +155,6 @@ class Message:
         """Short human-readable summary used in traces and logs."""
         target = "multicast" if self.is_multicast else self.receiver
         return f"{self.protocol}.{self.kind} {self.sender} -> {target}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Message({self.describe()}, id={self.msg_id})"

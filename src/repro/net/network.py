@@ -12,6 +12,7 @@ primitives :meth:`Network.transmit_unicast` and :meth:`Network.transmit_multicas
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -48,7 +49,17 @@ class Network:
         self.config = config if config is not None else NetworkConfig()
         self.stats = MessageStats()
         self._endpoints: Dict[Address, Endpoint] = {}
-        self._delay_rng = rng.stream("network", "delay")
+        #: Run-scoped message-id source: every message of a run draws from
+        #: this counter (not the process-wide fallback), so ids are
+        #: deterministic per run regardless of what ran earlier in-process.
+        self.msg_ids = itertools.count(1)
+        # Bound methods hoisted once: a delay is drawn per delivery on the
+        # hot path.  ``_rand`` is the raw C-level ``random()`` of the same
+        # stream; inlining ``a + (b - a) * random()`` at the call sites is
+        # bit-identical to ``uniform(a, b)`` while skipping a Python frame.
+        delay_stream = rng.stream("network", "delay")
+        self._uniform = delay_stream.uniform
+        self._rand = delay_stream.random
 
     # ------------------------------------------------------------------ membership
     def join(self, endpoint: Endpoint) -> Endpoint:
@@ -78,7 +89,7 @@ class Network:
     # ------------------------------------------------------------------ helpers
     def transmission_delay(self) -> float:
         """Draw one transmission delay from the uniform 10-100 microsecond range."""
-        return self._delay_rng.uniform(self.config.min_delay, self.config.max_delay)
+        return self._uniform(self.config.min_delay, self.config.max_delay)
 
     def interfaces_up(self, sender: Address, receiver: Address) -> bool:
         """``True`` when the sender can transmit and the receiver can receive *right now*."""
@@ -122,13 +133,24 @@ class Network:
             # Destination unknown / departed: message is lost on the wire.
             return True
 
-        def _deliver() -> None:
-            delivered = receiver_ep.deliver(message)
-            if delivered and on_delivered is not None:
-                on_delivered(message)
-
-        self.sim.schedule(self.transmission_delay(), _deliver)
+        config = self.config
+        min_delay = config.min_delay
+        delay = min_delay + (config.max_delay - min_delay) * self._rand()
+        if on_delivered is None:
+            # Hot path: no closure, no Event allocation.
+            self.sim.post(delay, receiver_ep.deliver, message)
+        else:
+            self.sim.post(delay, self._deliver_with_callback, receiver_ep, message, on_delivered)
         return True
+
+    @staticmethod
+    def _deliver_with_callback(
+        receiver_ep: Endpoint,
+        message: Message,
+        on_delivered: Callable[[Message], None],
+    ) -> None:
+        if receiver_ep.deliver(message):
+            on_delivered(message)
 
     def transmit_multicast(
         self,
@@ -159,7 +181,7 @@ class Network:
         first_copy_sent = self._emit_multicast_copy(message, sender_ep, state, copies)
         for copy_index in range(1, max(1, copies)):
             offset = copy_index * self.config.multicast_copy_spacing
-            self.sim.schedule(offset, self._emit_multicast_copy, message, sender_ep, state, copies)
+            self.sim.post(offset, self._emit_multicast_copy, message, sender_ep, state, copies)
         return first_copy_sent
 
     def _emit_multicast_copy(
@@ -179,10 +201,16 @@ class Network:
             state["recorded"] = True
             self.stats.record_send(self.sim.now, message, copies=copies)
         sender_ep.interface.counters.sent += 1
+        rand = self._rand
+        config = self.config
+        min_delay = config.min_delay
+        delay_span = config.max_delay - min_delay
+        post = self.sim.post
+        sender = message.sender
         for address, endpoint in self._endpoints.items():
-            if address == message.sender:
+            if address == sender:
                 continue
-            self.sim.schedule(self.transmission_delay(), endpoint.deliver, message)
+            post(min_delay + delay_span * rand(), endpoint.deliver, message)
         return True
 
     # ------------------------------------------------------------------ queries

@@ -10,25 +10,57 @@ aggregation queries used by :mod:`repro.core.metrics`.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.net.messages import Message, MessageLayer
 
 
-@dataclass(frozen=True)
 class SentMessage:
-    """A single recorded transmission attempt."""
+    """A single recorded transmission attempt.
 
-    time: float
-    sender: str
-    receiver: str
-    protocol: str
-    kind: str
-    layer: MessageLayer
-    update_related: bool
-    multicast: bool
-    copies: int = 1
+    A ``__slots__`` class (not a dataclass): one is allocated per
+    transmission attempt, which makes it hot-path state at large N.
+    """
+
+    __slots__ = (
+        "time",
+        "sender",
+        "receiver",
+        "protocol",
+        "kind",
+        "layer",
+        "update_related",
+        "multicast",
+        "copies",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        sender: str,
+        receiver: str,
+        protocol: str,
+        kind: str,
+        layer: MessageLayer,
+        update_related: bool,
+        multicast: bool,
+        copies: int = 1,
+    ) -> None:
+        self.time = time
+        self.sender = sender
+        self.receiver = receiver
+        self.protocol = protocol
+        self.kind = kind
+        self.layer = layer
+        self.update_related = update_related
+        self.multicast = multicast
+        self.copies = copies
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SentMessage(t={self.time:g}, {self.protocol}.{self.kind} "
+            f"{self.sender} -> {self.receiver}, copies={self.copies})"
+        )
 
 
 class MessageStats:

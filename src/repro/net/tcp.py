@@ -83,14 +83,14 @@ class _TcpExchange:
         handshake_ok = self._record_handshake_segments()
         rtt = 2.0 * self.network.transmission_delay()
         if handshake_ok:
-            self.sim.schedule(rtt, self._start_data_transfer)
+            self.sim.post(rtt, self._start_data_transfer)
             return
         retries = self.config.connection_retry_delays
         if self.setup_attempt > len(retries):
             self._fail("connection_setup_failed")
             return
         delay = retries[self.setup_attempt - 1]
-        self.sim.schedule(delay, self._attempt_connection)
+        self.sim.post(delay, self._attempt_connection)
 
     def _record_handshake_segments(self) -> bool:
         """Emit SYN / SYN-ACK transport segments; return ``True`` if the handshake completes."""
@@ -103,6 +103,7 @@ class _TcpExchange:
             kind="tcp_syn",
             layer=MessageLayer.TRANSPORT,
             size_bytes=40,
+            msg_id=next(self.network.msg_ids),
         )
         sent = self.network.transmit_unicast(syn)
         if not sent:
@@ -117,6 +118,7 @@ class _TcpExchange:
             kind="tcp_synack",
             layer=MessageLayer.TRANSPORT,
             size_bytes=40,
+            msg_id=next(self.network.msg_ids),
         )
         self.network.transmit_unicast(synack)
         src_ep = self.network.endpoint(src)
@@ -143,6 +145,7 @@ class _TcpExchange:
                 kind="tcp_data_retransmit",
                 layer=MessageLayer.TRANSPORT,
                 size_bytes=self.message.size_bytes,
+                msg_id=next(self.network.msg_ids),
             )
             self.network.stats.record_send(self.sim.now, retrans)
 
@@ -161,15 +164,16 @@ class _TcpExchange:
                 kind="tcp_ack",
                 layer=MessageLayer.TRANSPORT,
                 size_bytes=40,
+                msg_id=next(self.network.msg_ids),
             )
             self.network.stats.record_send(self.sim.now, ack)
-            self.sim.schedule(delay, self._deliver)
+            self.sim.post(delay, self._deliver)
             return
         if self.data_attempt >= self.config.max_data_retries:
             self._fail("data_transfer_aborted")
             return
         rto = self._current_rto()
-        self.sim.schedule(rto, self._attempt_data)
+        self.sim.post(rto, self._attempt_data)
 
     def _current_rto(self) -> float:
         base = self.config.initial_rto

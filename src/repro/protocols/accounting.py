@@ -22,6 +22,11 @@ from typing import Dict, FrozenSet
 #: protocol tag ("frodo", "upnp", "jini") -> update-related message kinds.
 _KINDS_BY_PROTOCOL: Dict[str, FrozenSet[str]] = {}
 
+#: Memoised ``(protocol, kind) -> bool`` answers for :func:`is_update_related`,
+#: which runs once per outgoing message.  Invalidated on (re-)registration so
+#: a replaced declaration is always honoured.
+_IS_UPDATE_RELATED_CACHE: Dict[tuple, bool] = {}
+
 
 def register_update_related_kinds(protocol: str, kinds: FrozenSet[str]) -> None:
     """Declare the update-related message kinds of ``protocol``.
@@ -32,6 +37,7 @@ def register_update_related_kinds(protocol: str, kinds: FrozenSet[str]) -> None:
     if not protocol:
         raise ValueError("protocol tag must be non-empty")
     _KINDS_BY_PROTOCOL[protocol] = frozenset(kinds)
+    _IS_UPDATE_RELATED_CACHE.clear()
 
 
 def update_related_kinds(protocol: str) -> FrozenSet[str]:
@@ -53,7 +59,11 @@ def update_related_kinds(protocol: str) -> FrozenSet[str]:
 
 def is_update_related(protocol: str, kind: str) -> bool:
     """Whether messages of ``kind`` count towards *y* for ``protocol``."""
-    return kind in update_related_kinds(protocol)
+    key = (protocol, kind)
+    cached = _IS_UPDATE_RELATED_CACHE.get(key)
+    if cached is None:
+        cached = _IS_UPDATE_RELATED_CACHE[key] = kind in update_related_kinds(protocol)
+    return cached
 
 
 def registered_protocols() -> Dict[str, FrozenSet[str]]:

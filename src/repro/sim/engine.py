@@ -4,18 +4,35 @@
 schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
 :meth:`Simulator.schedule_at` (absolute time) and the engine executes them in
 deterministic time order.
+
+Two scheduling tiers exist:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`EventHandle` for cancellation — use these when the caller may need
+  to disarm the callback;
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` are the flattened
+  fire-and-forget tier (message deliveries, retransmissions): no handle and
+  no per-event object is allocated, which is what keeps large-N simulations
+  (thousands of in-flight deliveries) cheap.
+
+Per-node timers go through :attr:`Simulator.timers` — a
+:class:`~repro.sim.timers.TimerWheel` holding a separate heap that the run
+loop merges with the event calendar by ``(time, priority, sequence)`` key.
+Both heaps draw sequence numbers from one shared counter, so the merged
+firing order is exactly the order a single flat calendar would produce.
 """
 
 from __future__ import annotations
 
+import heapq
+from heapq import heappop, heappush
+from math import inf
 from typing import Any, Callable, Optional
 
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import Event, EventQueue, SimulationError
 from repro.sim.tracing import Tracer
 
-
-class SimulationError(RuntimeError):
-    """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
+__all__ = ["EventHandle", "SimulationError", "Simulator"]
 
 
 class EventHandle:
@@ -35,7 +52,8 @@ class EventHandle:
     @property
     def active(self) -> bool:
         """``True`` while the event has not been cancelled or fired."""
-        return not self._event.cancelled and not self._event.fired
+        event = self._event
+        return not event.cancelled and not event.fired
 
     def cancel(self) -> bool:
         """Cancel the scheduled event.  Returns ``True`` if it was still live."""
@@ -54,13 +72,29 @@ class Simulator:
         structured events.  A fresh tracer is created when omitted.
     """
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_running",
+        "_stopped",
+        "tracer",
+        "executed_events",
+        "timers",
+    )
+
     def __init__(self, start_time: float = 0.0, tracer: Optional[Tracer] = None) -> None:
+        # Imported here (not at module top) to break the engine <-> timers cycle:
+        # timers needs engine types only for annotations.
+        from repro.sim.timers import TimerWheel
+
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._stopped = False
         self.tracer = tracer if tracer is not None else Tracer()
         self.executed_events = 0
+        #: Batched timer wheel for per-node timers (see :mod:`repro.sim.timers`).
+        self.timers = TimerWheel(self)
 
     # ------------------------------------------------------------------ clock
     @property
@@ -70,8 +104,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (not yet fired, not cancelled) events."""
-        return len(self._queue)
+        """Number of live (not yet fired, not cancelled) events, timers included."""
+        return len(self._queue) + len(self.timers)
 
     # -------------------------------------------------------------- scheduling
     def schedule(
@@ -84,7 +118,8 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        queue = self._queue
+        return EventHandle(queue.push(self._now + delay, callback, args, priority), queue)
 
     def schedule_at(
         self,
@@ -98,8 +133,46 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time!r}, current time is {self._now!r}"
             )
-        event = self._queue.push(time, callback, args, priority=priority)
-        return EventHandle(event, self._queue)
+        queue = self._queue
+        return EventHandle(queue.push(time, callback, args, priority), queue)
+
+    def post(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no per-event allocation.
+
+        The push is inlined (no :meth:`EventQueue.push_call` hop): deliveries
+        run through here once per message on the hot path.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (self._now + delay, priority, seq, callback, args))
+        queue._live += 1
+
+    def post_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, no per-event allocation."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time!r}, current time is {self._now!r}"
+            )
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        heappush(queue._heap, (time, priority, seq, callback, args))
+        queue._live += 1
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a previously scheduled event."""
@@ -107,35 +180,105 @@ class Simulator:
 
     # --------------------------------------------------------------- execution
     def step(self) -> bool:
-        """Execute the single next event.  Returns ``False`` when none remain."""
-        event = self._queue.pop()
-        if event is None:
+        """Execute the single next event (or timer).  Returns ``False`` when none remain."""
+        timers = self.timers
+        tentry = timers.peek()
+        if tentry is not None:
+            key = self._queue.peek_key()
+            if key is None or (tentry[0], tentry[1], tentry[2]) < key:
+                timers.pop()
+                self._now = tentry[0]
+                event = tentry[3]
+                event.fired = True
+                event.callback(*event.args)
+                self.executed_events += 1
+                return True
+        entry = self._queue.pop_entry()
+        if entry is None:
             return False
-        if event.time < self._now:  # pragma: no cover - defensive
+        if entry[0] < self._now:  # pragma: no cover - defensive
             raise SimulationError("event calendar went backwards")
-        self._now = event.time
-        event.fire()
+        self._now = entry[0]
+        if len(entry) == 5:
+            entry[3](*entry[4])
+        else:
+            event = entry[3]
+            event.fired = True
+            event.callback(*event.args)
         self.executed_events += 1
         return True
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the calendar empties or the clock reaches ``until``.
+        """Run until the calendars empty or the clock reaches ``until``.
 
         Returns the final simulation time.  When ``until`` is given the clock
         is advanced to exactly ``until`` even if the last event fired earlier.
+
+        The loop is a two-way merge of the event heap and the timer-wheel
+        heap: both hold ``(time, priority, sequence, ...)`` tuples keyed from
+        one shared sequence counter, so comparing their heads picks the exact
+        event a single flat calendar would have fired next.  The heaps are
+        accessed directly here — this loop is the simulation's hot path.
         """
         self._running = True
         self._stopped = False
+        queue = self._queue
+        timers = self.timers
+        qheap = queue._heap
+        theap = timers._heap
+        # ``inf`` sentinel keeps the per-event bound check to one C-level
+        # float comparison instead of an ``is not None`` test plus a compare.
+        limit = inf if until is None else until
+        pop = heappop
+        executed = 0
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                # Drop cancelled heads so the head comparison sees live work.
+                # ``_dead`` counts buried cancellations, so a zero counter
+                # proves the head is live without inspecting it.
+                if queue._dead:
+                    while qheap and len(qheap[0]) == 4 and qheap[0][3].cancelled:
+                        pop(qheap)
+                        queue._dead -= 1
+                if timers._dead:
+                    while theap and theap[0][3].cancelled:
+                        pop(theap)
+                        timers._dead -= 1
+                if theap:
+                    thead = theap[0]
+                    # Tuple comparison stays in C: sequences are unique across
+                    # both heaps, so it never reaches the payload elements.
+                    if not qheap or thead < qheap[0]:
+                        time = thead[0]
+                        if time > limit:
+                            break
+                        pop(theap)
+                        timers._live -= 1
+                        self._now = time
+                        event = thead[3]
+                        event.fired = True
+                        event.callback(*event.args)
+                        executed += 1
+                        continue
+                if not qheap:
                     break
-                if until is not None and next_time > until:
+                entry = pop(qheap)
+                time = entry[0]
+                if time > limit:
+                    heappush(qheap, entry)
                     break
-                self.step()
+                queue._live -= 1
+                self._now = time
+                if len(entry) == 5:
+                    entry[3](*entry[4])
+                else:
+                    event = entry[3]
+                    event.fired = True
+                    event.callback(*event.args)
+                executed += 1
         finally:
             self._running = False
+            self.executed_events += executed
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -151,4 +294,6 @@ class Simulator:
 
     def trace(self, category: str, event: str, **fields: Any) -> None:
         """Record a structured trace entry at the current simulation time."""
-        self.tracer.record(self._now, category, event, **fields)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(self._now, category, event, **fields)

@@ -63,4 +63,6 @@ class Process:
 
     def trace(self, event: str, **fields: Any) -> None:
         """Record a trace entry under this process's name."""
-        self.sim.trace(self.name, event, **fields)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.record(self.sim._now, self.name, event, **fields)

@@ -1,0 +1,32 @@
+"""Importable registry factories for the RunnerSpec parallel-execution tests.
+
+A :class:`~repro.experiments.runner.RunnerSpec` ships a ``"module:attr"``
+reference to pool workers, so the referenced factory must live in a real
+importable module — closures defined inside a test function cannot cross
+process boundaries.  pytest puts this directory on ``sys.path`` (no package
+``__init__``), so workers resolve ``"registry_fixtures:..."`` the same way
+the parent process does.
+"""
+
+from repro.protocols.registry import SYSTEMS, DeploymentRegistry
+
+
+def subset_registry(systems=("frodo3", "upnp")):
+    """A customised registry exposing only ``systems`` from the standard set."""
+    registry = DeploymentRegistry()
+    for name in systems:
+        entry = SYSTEMS.get(name)
+        registry.register(
+            name,
+            entry.builder,
+            m_prime=entry.m_prime,
+            description=entry.description,
+        )
+    return registry
+
+
+#: A plain registry *instance* (RunnerSpec also accepts non-factory targets).
+FIXED_REGISTRY = subset_registry()
+
+#: Not a registry or factory — exercises RunnerSpec's type validation.
+NOT_A_REGISTRY = object()

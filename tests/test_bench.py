@@ -7,8 +7,10 @@ import pytest
 from repro.bench import (
     BenchWorkload,
     bench_to_dict,
+    check_regression,
     find_workload,
     format_bench_table,
+    load_baseline,
     run_bench,
     standard_workloads,
     time_workload,
@@ -31,13 +33,26 @@ def test_standard_workloads_cover_every_system_and_the_full_grid():
         names = [workload.name for workload in workloads]
         for system in SYSTEMS.names():
             assert f"system:{system}" in names
-        grid = workloads[-1]
-        assert grid.name == f"grid:{len(SYSTEMS.names())}-system"
+            assert f"system:{system}@100" in names
+        grid = find_workload(f"grid:{len(SYSTEMS.names())}-system", workloads)
         assert tuple(grid.spec.systems) == tuple(SYSTEMS.names())
+        assert tuple(grid.spec.failure_rates) == tuple(rates)
+        assert grid.spec.runs_per_cell == runs
         for workload in workloads:
-            assert tuple(workload.spec.failure_rates) == tuple(rates)
-            assert workload.spec.runs_per_cell == runs
             assert workload.cells == workload.spec.total_runs
+
+
+def test_scale_workloads_pin_topology_sizes():
+    full = standard_workloads(quick=False)
+    quick = standard_workloads(quick=True)
+    assert find_workload("system:frodo3@1000", full).users == [1000]
+    assert find_workload("system:frodo3@10000", full).users == [10000]
+    assert find_workload("system:upnp@100", full).users == [100]
+    assert find_workload("users-scaling", full).users == [5, 100, 1000]
+    # The multi-minute N=10000 cell stays out of CI's quick variant.
+    quick_names = [workload.name for workload in quick]
+    assert "system:frodo3@10000" not in quick_names
+    assert find_workload("users-scaling", quick).users == [5, 100]
 
 
 def test_find_workload_rejects_unknown_names():
@@ -70,7 +85,7 @@ def test_bench_payload_shape_and_file_output(tmp_path):
     records = run_bench([TINY], jobs=2, observer=seen.append)
     assert [record.name for record in seen] == ["tiny"]
     data = bench_to_dict(records, quick=True, repeats=1)
-    assert data["schema"] == 1
+    assert data["schema"] == 2
     assert data["quick"] is True
     assert set(data["environment"]) == {"python", "machine", "cpus"}
     assert data["totals"]["cells"] == 1
@@ -83,6 +98,104 @@ def test_bench_payload_shape_and_file_output(tmp_path):
     assert text.endswith("\n")
     table = format_bench_table(records)
     assert "tiny" in table and "speedup" in table
+
+
+def _fake_record(name, serial_cps, users=(5,)):
+    from repro.bench.harness import BenchRecord
+
+    return BenchRecord(
+        name=name,
+        cells=10,
+        jobs=2,
+        serial_seconds=10.0 / serial_cps,
+        parallel_seconds=5.0 / serial_cps,
+        serial_cells_per_sec=serial_cps,
+        parallel_cells_per_sec=2 * serial_cps,
+        speedup=2.0,
+        identical=True,
+        users=tuple(users),
+    )
+
+
+def test_schema_two_records_per_workload_users():
+    record = _fake_record("system:frodo3@1000", 1.0, users=(1000,))
+    assert record.to_dict()["users"] == [1000]
+    data = bench_to_dict([record])
+    assert data["schema"] == 2
+    assert data["workloads"][0]["users"] == [1000]
+
+
+def test_check_regression_flags_slowdowns_beyond_tolerance():
+    baseline = bench_to_dict([_fake_record("grid:5-system", 100.0)])
+    # 15% slower: within the default 20% tolerance.
+    assert check_regression([_fake_record("grid:5-system", 85.0)], baseline) == []
+    # 30% slower: flagged.
+    failures = check_regression([_fake_record("grid:5-system", 70.0)], baseline)
+    assert len(failures) == 1 and "grid:5-system" in failures[0]
+    # Unknown workloads on either side are ignored (catalogue may grow).
+    assert check_regression([_fake_record("system:new@100", 1.0)], baseline) == []
+    with pytest.raises(ValueError, match="tolerance"):
+        check_regression([], baseline, tolerance=1.5)
+
+
+def test_load_baseline_round_trip_and_validation(tmp_path):
+    data = bench_to_dict([_fake_record("tiny", 10.0)])
+    path = tmp_path / "baseline.json"
+    write_bench_json(data, str(path))
+    assert load_baseline(str(path)) == data
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(ValueError, match="workloads"):
+        load_baseline(str(bad))
+
+
+def test_cli_bench_baseline_gate(tmp_path, capsys):
+    baseline_path = tmp_path / "baseline.json"
+    out = tmp_path / "bench.json"
+    argv = [
+        "bench",
+        "--quick",
+        "--jobs",
+        "2",
+        "--workload",
+        "system:frodo3",
+        "--out",
+        str(out),
+    ]
+    # Baseline claiming an absurdly high throughput: the gate must fail.
+    write_bench_json(
+        bench_to_dict([_fake_record("system:frodo3", 1e9)]), str(baseline_path)
+    )
+    assert main(argv + ["--baseline", str(baseline_path)]) == 1
+    assert "perf regression" in capsys.readouterr().err
+    # Baseline with a tiny throughput: the gate must pass.
+    write_bench_json(
+        bench_to_dict([_fake_record("system:frodo3", 1e-9)]), str(baseline_path)
+    )
+    assert main(argv + ["--baseline", str(baseline_path)]) == 0
+    assert "baseline check passed" in capsys.readouterr().err
+
+
+def test_cli_profile_subcommand(tmp_path):
+    out = tmp_path / "profile.txt"
+    argv = [
+        "profile",
+        "--system",
+        "frodo3",
+        "--users",
+        "20",
+        "--rate",
+        "20",
+        "--top",
+        "5",
+        "--out",
+        str(out),
+    ]
+    assert main(argv) == 0
+    text = out.read_text()
+    assert text.startswith("# profile frodo3")
+    assert "events executed" in text
+    assert "cumulative" in text
 
 
 def test_cli_bench_subcommand(tmp_path, capsys):

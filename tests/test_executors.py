@@ -62,16 +62,16 @@ def test_parallel_sweep_byte_identical_to_serial_multi_system_grid():
     assert parallel == serial
 
 
-def test_parallel_executor_rejects_customised_runner():
+def test_parallel_executor_rejects_customised_runner_without_spec():
     private = DeploymentRegistry()
-    with pytest.raises(ValueError, match="default registry"):
+    with pytest.raises(ValueError, match="RunnerSpec"):
         ParallelExecutor(2).run_scenarios([], runner=ExperimentRunner(private))
     tweaked = ExperimentRunner(network_config=NetworkConfig())
-    with pytest.raises(ValueError, match="default registry"):
+    with pytest.raises(ValueError, match="RunnerSpec"):
         ParallelExecutor(2).run_scenarios([], runner=tweaked)
     # make_executor must carry the runner into the guard, not drop it.
     carried = make_executor(2, ExperimentRunner(private))
-    with pytest.raises(ValueError, match="default registry"):
+    with pytest.raises(ValueError, match="RunnerSpec"):
         carried.run_scenarios([])
 
     # An instrumented runner subclass would be silently replaced by the
@@ -79,7 +79,7 @@ def test_parallel_executor_rejects_customised_runner():
     class InstrumentedRunner(ExperimentRunner):
         pass
 
-    with pytest.raises(ValueError, match="ExperimentRunner type"):
+    with pytest.raises(ValueError, match="RunnerSpec"):
         ParallelExecutor(2).run_scenarios([], runner=InstrumentedRunner())
 
 

@@ -1,0 +1,226 @@
+"""Regression battery for the flattened simulator core.
+
+Pins the semantics the large-N hot path must preserve: the two-way merge of
+the timer-wheel heap with the event calendar (identical firing order to a
+single flat calendar), Event cancel/fired state transitions, fire-and-forget
+posting, and — critically — that lazy heap compaction keeps the *same list
+object*, because the engine's run loop aliases both heaps for the whole run.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.timers import OneShotTimer, PeriodicTimer, TimerWheel
+
+
+# --------------------------------------------------------------- Event record
+def test_event_cancel_and_fired_state_transitions():
+    event = Event(1.0, 0, 7, lambda: None)
+    assert not event.cancelled and not event.fired
+    assert event.key == (1.0, 0, 7)
+    assert event.fire() is None  # callback returns None
+    assert event.fired
+    cancelled = Event(2.0, 0, 8, lambda: pytest.fail("must not run"))
+    cancelled.cancelled = True
+    assert cancelled.fire() is None  # cancelled events never execute
+    assert not cancelled.fired
+
+
+def test_event_ordering_is_time_then_priority_then_sequence():
+    a = Event(1.0, 0, 1, lambda: None)
+    b = Event(1.0, 0, 2, lambda: None)
+    c = Event(1.0, -1, 3, lambda: None)
+    d = Event(0.5, 5, 4, lambda: None)
+    assert d < c < a < b
+
+
+# -------------------------------------------------- wheel/calendar merge order
+def test_timers_and_events_fire_in_one_total_order():
+    """The wheel shares the calendar's sequence counter: interleaved schedules
+    at the same instant fire in program order, exactly as a flat calendar."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "event-1")
+    sim.timers.schedule(1.0, fired.append, "timer-1")
+    sim.post(1.0, fired.append, "post-1")
+    sim.timers.schedule(1.0, fired.append, "timer-2")
+    sim.schedule(1.0, fired.append, "event-2")
+    sim.run()
+    assert fired == ["event-1", "timer-1", "post-1", "timer-2", "event-2"]
+    assert sim.executed_events == 5
+
+
+def test_timer_priority_beats_insertion_order_across_heaps():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "normal-event")
+    sim.timers.schedule(1.0, fired.append, "urgent-timer", priority=-1)
+    sim.run()
+    assert fired == ["urgent-timer", "normal-event"]
+
+
+def test_step_merges_both_heaps():
+    sim = Simulator()
+    fired = []
+    sim.timers.schedule(1.0, fired.append, "timer")
+    sim.schedule(2.0, fired.append, "event")
+    assert sim.step() is True
+    assert fired == ["timer"] and sim.now == 1.0
+    assert sim.step() is True
+    assert fired == ["timer", "event"] and sim.now == 2.0
+    assert sim.step() is False
+
+
+def test_run_until_leaves_future_timers_armed():
+    sim = Simulator()
+    fired = []
+    sim.timers.schedule(10.0, fired.append, "late-timer")
+    sim.schedule(1.0, fired.append, "early")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == ["early", "late-timer"]
+
+
+def test_timer_wheel_rejects_past_and_negative_times():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.timers.schedule(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.timers.schedule_at(9.0, lambda: None)
+
+
+def test_timer_cancellation_and_live_count():
+    sim = Simulator()
+    wheel = sim.timers
+    fired = []
+    keep = wheel.schedule(2.0, fired.append, "kept")
+    drop = wheel.schedule(1.0, fired.append, "dropped")
+    assert len(wheel) == 2
+    assert wheel.cancel(drop) is True
+    assert wheel.cancel(drop) is False
+    assert len(wheel) == 1
+    assert wheel.peek_time() == 2.0
+    sim.run()
+    assert fired == ["kept"]
+    assert len(wheel) == 0
+    assert wheel.cancel(keep) is False  # fired timers cannot be cancelled
+
+
+# ------------------------------------------------- compaction aliasing (bugfix)
+def _trigger_compaction(schedule, cancel, count=200):
+    """Arm ``count`` timers and cancel them all, crossing the compaction
+    threshold (dead > 64 and dead > half the heap)."""
+    handles = [schedule(float(i + 1)) for i in range(count)]
+    for handle in handles:
+        cancel(handle)
+
+
+def test_wheel_compaction_keeps_heap_list_identity():
+    """Compaction must mutate the heap in place: the run loop aliases the
+    list, so rebinding it silently orphans every later-scheduled timer."""
+    sim = Simulator()
+    wheel = sim.timers
+    alias = wheel._heap
+    _trigger_compaction(
+        lambda t: wheel.schedule(t, lambda: None),
+        wheel.cancel,
+    )
+    assert wheel._heap is alias
+    assert len(wheel) == 0
+
+
+def test_queue_compaction_keeps_heap_list_identity():
+    queue = EventQueue()
+    alias = queue._heap
+    _trigger_compaction(
+        lambda t: queue.push(t, lambda: None),
+        queue.cancel,
+    )
+    assert queue._heap is alias
+    assert len(queue) == 0
+
+
+def test_timers_scheduled_after_mid_run_compaction_still_fire():
+    """End-to-end form of the aliasing regression: cross the compaction
+    threshold while the run loop is active, then re-arm — the re-armed
+    timers must still fire."""
+    sim = Simulator()
+    fired = []
+
+    def churn() -> None:
+        _trigger_compaction(
+            lambda t: sim.timers.schedule(t + 50.0, lambda: None),
+            sim.timers.cancel,
+        )
+        sim.timers.schedule(1.0, fired.append, "after-wheel-compaction")
+        handles = [sim.schedule(60.0, lambda: None) for _ in range(200)]
+        for handle in handles:
+            handle.cancel()
+        sim.post(2.0, fired.append, "after-queue-compaction")
+
+    sim.schedule(1.0, churn)
+    sim.run(until=100.0)
+    assert fired == ["after-wheel-compaction", "after-queue-compaction"]
+
+
+def test_periodic_timer_survives_heavy_cancellation_churn():
+    """A renewal-style periodic timer must keep ticking while other nodes'
+    timers are cancelled en masse (the FRODO large-N pattern)."""
+    sim = Simulator()
+    ticks = []
+    renewal = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    renewal.start()
+
+    churn_timer = PeriodicTimer(sim, 7.0, lambda: _trigger_compaction(
+        lambda t: sim.timers.schedule(t + 100.0, lambda: None),
+        sim.timers.cancel,
+        count=80,
+    ))
+    churn_timer.start()
+    sim.run(until=100.0)
+    assert ticks == [10.0 * i for i in range(1, 11)]
+
+
+# ----------------------------------------------------------- timer helpers
+def test_one_shot_timer_restart_replaces_deadline():
+    sim = Simulator()
+    fired = []
+    timer = OneShotTimer(sim, lambda tag: fired.append((sim.now, tag)))
+    timer.start(5.0, "first")
+    assert timer.armed
+    timer.start(2.0, "second")  # re-arm replaces the pending deadline
+    sim.run()
+    assert fired == [(2.0, "second")]
+    assert not timer.armed
+
+
+def test_one_shot_timer_cancel_disarms():
+    sim = Simulator()
+    timer = OneShotTimer(sim, lambda: pytest.fail("must not fire"))
+    timer.start(1.0)
+    timer.cancel()
+    assert not timer.armed
+    sim.run()
+
+
+def test_periodic_timer_initial_delay_and_stop():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 10.0, lambda: ticks.append(sim.now))
+    timer.start(initial_delay=3.0)
+    assert timer.running
+    sim.schedule(25.0, timer.stop)
+    sim.run(until=100.0)
+    assert ticks == [3.0, 13.0, 23.0]
+    assert not timer.running
+
+
+def test_fresh_wheel_belongs_to_its_simulator():
+    sim = Simulator()
+    assert isinstance(sim.timers, TimerWheel)
+    other = Simulator()
+    assert other.timers is not sim.timers

@@ -52,7 +52,7 @@ def test_fresh_sweep_creates_checkpoint_with_every_cell(tmp_path):
     sweep(SPEC, checkpoint=str(ck))
     lines = _journal_lines(ck)
     header = json.loads(lines[0])
-    assert header["version"] == 1
+    assert header["version"] == 2
     assert header["spec"] == SPEC.grid_dict()
     assert len(lines) - 1 == SPEC.total_runs
 

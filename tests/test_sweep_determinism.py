@@ -32,7 +32,7 @@ def test_extending_grid_keeps_existing_cells_byte_identical():
     )
     small = sweep(base)
     big = sweep(extended)
-    for system, rate in base.cells():
+    for system, _n_users, rate in base.cells():
         before = _cell_json(small, system, rate)
         after = _cell_json(big, system, rate)[: base.runs_per_cell]
         assert before == after, f"cell ({system}, {rate}) changed when the grid grew"

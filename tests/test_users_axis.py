@@ -1,0 +1,149 @@
+"""The ``users`` grid axis: topology size as a first-class sweep dimension.
+
+A sweep grid is now systems x users x failure-rates.  These tests pin
+
+* grid expansion order (systems outermost, then users, then rates — so
+  adding a topology size appends cells without renumbering existing ones),
+* seed sharing across sizes: ``run_seed`` deliberately ignores N, so the
+  same replication index uses the same master seed at every topology size
+  (paired comparisons across N),
+* cell keys and checkpoints distinguishing sizes (version-2 journals),
+* the CLI's comma-separated ``--users`` list.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ScenarioSpec, SweepSpec, cell_key, run_seed, sweep
+from repro.experiments.sweep import CHECKPOINT_VERSION
+from repro.__main__ import main
+
+GRID = SweepSpec(
+    systems=("frodo3", "upnp"),
+    failure_rates=(0.0, 0.2),
+    runs_per_cell=2,
+    base_seed=17,
+    users=(5, 100),
+)
+
+
+def test_users_grid_defaults_to_n_users():
+    spec = SweepSpec(systems=("frodo3",), failure_rates=(0.0,), n_users=7)
+    assert spec.users_grid == (7,)
+    assert [n for _, n, _ in spec.cells()] == [7]
+
+
+def test_cells_iterate_systems_then_users_then_rates():
+    assert GRID.cells() == [
+        ("frodo3", 5, 0.0),
+        ("frodo3", 5, 0.2),
+        ("frodo3", 100, 0.0),
+        ("frodo3", 100, 0.2),
+        ("upnp", 5, 0.0),
+        ("upnp", 5, 0.2),
+        ("upnp", 100, 0.0),
+        ("upnp", 100, 0.2),
+    ]
+    assert GRID.total_runs == 16
+
+
+def test_expand_carries_topology_size_into_scenarios():
+    cells = GRID.expand()
+    assert len(cells) == GRID.total_runs
+    sizes = {cell.scenario.n_users for cell in cells}
+    assert sizes == {5, 100}
+    for cell in cells:
+        assert cell.n_users == cell.scenario.n_users
+
+
+def test_run_seed_is_shared_across_topology_sizes():
+    """Same (system, rate, index) -> same master seed at every N: scaling
+    curves are paired comparisons, not re-randomised experiments."""
+    small = GRID.scenario("frodo3", 0.2, 1, n_users=5)
+    large = GRID.scenario("frodo3", 0.2, 1, n_users=100)
+    assert small.seed == large.seed == run_seed(17, "frodo3", 0.2, 1)
+    assert small.n_users == 5 and large.n_users == 100
+
+
+def test_cell_keys_distinguish_topology_sizes():
+    assert cell_key("frodo3", 0.2, 1, n_users=5) != cell_key("frodo3", 0.2, 1, n_users=100)
+    keys = {cell.key for cell in GRID.expand()}
+    assert len(keys) == GRID.total_runs
+
+
+def test_duplicate_or_invalid_users_rejected():
+    with pytest.raises(ValueError):
+        SweepSpec(systems=("frodo3",), failure_rates=(0.0,), users=(5, 5)).validate()
+    with pytest.raises(ValueError):
+        SweepSpec(systems=("frodo3",), failure_rates=(0.0,), users=(0,)).validate()
+
+
+def test_grid_dict_records_the_users_axis():
+    grid = GRID.grid_dict()
+    assert grid["users"] == [5, 100]
+    assert CHECKPOINT_VERSION == 2
+
+
+def test_summaries_follow_cell_order_and_carry_n_users():
+    spec = SweepSpec(
+        systems=("frodo3",),
+        failure_rates=(0.0,),
+        runs_per_cell=1,
+        base_seed=17,
+        users=(5, 100),
+    )
+    result = sweep(spec)
+    assert [(s.system, s.n_users, s.failure_rate) for s in result.summaries] == [
+        ("frodo3", 5, 0.0),
+        ("frodo3", 100, 0.0),
+    ]
+    # Per-size filtering of runs.
+    assert [run.n_users for run in result.cell_runs("frodo3", 0.0, n_users=100)] == [100]
+    assert result.summary_for("frodo3", 0.0, n_users=5).n_users == 5
+
+
+def test_checkpoints_from_different_users_grids_do_not_mix(tmp_path):
+    from repro.experiments import CheckpointMismatchError, load_checkpoint, save_checkpoint
+
+    small = SweepSpec(systems=("frodo3",), failure_rates=(0.0,), users=(5,))
+    large = SweepSpec(systems=("frodo3",), failure_rates=(0.0,), users=(5, 100))
+    ck = tmp_path / "ck.jsonl"
+    save_checkpoint(str(ck), small, {})
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(str(ck), large)
+
+
+def test_cli_users_list_sweeps_topology_sizes(tmp_path):
+    out = tmp_path / "out.json"
+    argv = [
+        "sweep",
+        "--system",
+        "frodo3",
+        "--rates",
+        "0",
+        "--runs",
+        "1",
+        "--users",
+        "5,100",
+        "--out",
+        str(out),
+    ]
+    assert main(argv) == 0
+    data = json.loads(out.read_text())
+    assert data["spec"]["users"] == [5, 100]
+    assert [s["n_users"] for s in data["summaries"]] == [5, 100]
+    assert all(s["effectiveness"] == 1.0 for s in data["summaries"])
+
+
+def test_cli_rejects_bad_users_values(capsys):
+    # argparse type errors exit with status 2 before the command runs.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--system", "frodo3", "--users", "0"])
+    assert excinfo.value.code == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_scenario_n_users_validation():
+    with pytest.raises(ValueError):
+        ScenarioSpec(system="frodo3", failure_rate=0.0, seed=1, n_users=0).validate()
