@@ -6,8 +6,16 @@ Subcommands
   ``python -m repro sweep --system frodo3 --rates 0,10,20 --runs 20 --out results.json``.
   ``--jobs N`` runs cells on a process pool (output stays byte-identical to
   serial); ``--resume ck.json`` checkpoints every finished cell there and
-  skips cells the file already contains.
-* ``run``     — execute a single scenario and print its RunResult as JSON.
+  skips cells the file already contains.  Observability (never changes the
+  results): ``--trace-dir out/`` streams one NDJSON trace per cell plus a
+  ``telemetry.ndjson`` journal, ``--progress`` prints live cells/s and ETA
+  to stderr.
+* ``run``     — execute a single scenario and print its RunResult as JSON;
+  ``--trace t.ndjson`` streams the full event trace there.
+* ``trace``   — analyse captured NDJSON traces:
+  ``python -m repro trace summarize out/`` (record/kind histograms),
+  ``trace kinds`` (message kinds only), ``trace timeline`` (record listing);
+  all accept ``--since/--until`` (inclusive) and ``--category`` filters.
 * ``profile`` — cProfile one scenario and print the hottest functions
   (``python -m repro profile --system frodo3 --users 1000``), the
   entry point of the profile-first optimisation workflow in EXPERIMENTS.md.
@@ -57,6 +65,15 @@ from repro.experiments.scenario import (
     ScenarioSpec,
 )
 from repro.experiments.sweep import SweepSpec, sweep
+from repro.obs.analyze import (
+    format_kinds,
+    format_summary,
+    format_timeline,
+    iter_records,
+    kind_counts,
+    summarize,
+)
+from repro.obs.progress import SweepProgress
 from repro.protocols.registry import SYSTEMS, UnknownSystemError
 
 
@@ -172,6 +189,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--table", action="store_true", help="print the summary table to stderr"
     )
+    sweep_parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream one NDJSON trace per executed cell into DIR and write a "
+            "telemetry.ndjson journal there (results are unchanged)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live progress (cells done, cells/s, ETA) to stderr",
+    )
 
     run_parser = subparsers.add_parser("run", help="execute one scenario")
     run_parser.add_argument("--system", required=True, help="system to deploy")
@@ -181,6 +212,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(run_parser)
     run_parser.add_argument(
         "--out", default="-", help="JSON output path, or - for stdout (default: -)"
+    )
+    run_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream the full event trace to PATH as NDJSON (results are unchanged)",
     )
 
     profile_parser = subparsers.add_parser(
@@ -246,6 +283,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional serial-throughput drop allowed by --baseline (default: 0.20)",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="analyse NDJSON traces captured by sweep --trace-dir / run --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "paths",
+            nargs="+",
+            metavar="PATH",
+            help="trace files and/or trace directories (a --trace-dir)",
+        )
+        sub.add_argument(
+            "--since",
+            type=float,
+            default=None,
+            help="keep records at or after this simulation time (inclusive)",
+        )
+        sub.add_argument(
+            "--until",
+            type=float,
+            default=None,
+            help="keep records at or before this simulation time (inclusive)",
+        )
+        sub.add_argument(
+            "--category", default=None, help="keep only this record category (e.g. net)"
+        )
+
+    summarize_parser = trace_sub.add_parser(
+        "summarize", help="record counts, time span, and per-category/event/kind histograms"
+    )
+    _add_trace_arguments(summarize_parser)
+
+    kinds_parser = trace_sub.add_parser(
+        "kinds", help="message-kind histogram from the net/send records"
+    )
+    _add_trace_arguments(kinds_parser)
+    kinds_parser.add_argument(
+        "--update-related",
+        action="store_true",
+        help="count only sends flagged as update-related",
+    )
+
+    timeline_parser = trace_sub.add_parser(
+        "timeline", help="print the filtered records, one per line"
+    )
+    _add_trace_arguments(timeline_parser)
+    timeline_parser.add_argument(
+        "--event", default=None, help="keep only this event name (e.g. send)"
+    )
+    timeline_parser.add_argument(
+        "--limit", type=int, default=50, help="records to print before truncating (default: 50)"
+    )
+    timeline_parser.add_argument(
+        "--show-source",
+        action="store_true",
+        help="prefix every line with the trace file it came from",
+    )
+
     subparsers.add_parser("systems", help="list deployable systems")
     return parser
 
@@ -270,6 +366,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         spec,
         executor=make_executor(args.jobs),
         checkpoint=args.resume,
+        trace_dir=args.trace_dir,
+        progress=SweepProgress(stream=sys.stderr) if args.progress else None,
     )
     write_sweep_json(result, args.out, include_runs=args.per_run)
     if args.csv is not None:
@@ -287,9 +385,28 @@ def _command_run(args: argparse.Namespace) -> int:
         n_users=args.users,
         change_time=args.change_time,
         deadline=args.deadline,
+        trace_path=args.trace,
     )
     result = ExperimentRunner().run(spec)
     write_text(to_json(run_to_dict(result)), args.out)
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    since, until, category = args.since, args.until, args.category
+    if args.trace_command == "summarize":
+        summary = summarize(args.paths, since=since, until=until, category=category)
+        sys.stdout.write(format_summary(summary))
+    elif args.trace_command == "kinds":
+        pairs = iter_records(args.paths, since=since, until=until, category=category)
+        update_related = True if args.update_related else None
+        counts = kind_counts((record for _path, record in pairs), update_related=update_related)
+        sys.stdout.write(format_kinds(counts))
+    else:  # timeline
+        pairs = iter_records(
+            args.paths, since=since, until=until, category=category, event=args.event
+        )
+        sys.stdout.write(format_timeline(pairs, limit=args.limit, show_source=args.show_source))
     return 0
 
 
@@ -362,6 +479,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_profile(args)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "trace":
+            return _command_trace(args)
         return _command_systems()
     except (UnknownSystemError, ValueError, OSError) as exc:
         # Bad grids (e.g. --runs 0) and unwritable --out paths surface as

@@ -28,6 +28,7 @@ ride along by handing the pool a :class:`RunnerSpec` (an importable
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.metrics import RunResult
@@ -40,6 +41,13 @@ from repro.protocols.registry import SYSTEMS
 #: order.  Ordered aggregation must therefore happen on the *returned* list
 #: (which is always in submission order), never on callback order.
 CellCallback = Callable[[int, RunResult], None]
+
+#: Observability callback: ``(index, result, wall_seconds)``, fired alongside
+#: :data:`CellCallback` with the cell's measured wall time.  Wall time is for
+#: progress/telemetry reporting only — it never enters the RunResult, so
+#: results (and byte-identity gates) stay independent of host speed.  With a
+#: parallel executor the wall time is measured inside the worker process.
+CellProgress = Callable[[int, RunResult, float], None]
 
 #: Chunks submitted per worker: enough that a slow chunk cannot leave workers
 #: idle for long, few enough that dispatch overhead stays amortised.
@@ -59,15 +67,20 @@ class SerialExecutor:
         scenarios: Sequence[ScenarioSpec],
         runner: Optional[ExperimentRunner] = None,
         on_result: Optional[CellCallback] = None,
+        on_progress: Optional[CellProgress] = None,
     ) -> List[RunResult]:
         """Execute ``scenarios`` in order; returns results in the same order."""
         active = runner or self.runner or ExperimentRunner()
         results: List[RunResult] = []
         for index, scenario in enumerate(scenarios):
+            started = time.perf_counter()
             result = active.run(scenario)
+            wall = time.perf_counter() - started
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
+            if on_progress is not None:
+                on_progress(index, result, wall)
         return results
 
 
@@ -85,15 +98,23 @@ def _init_worker(runner_spec: RunnerSpec) -> None:
 def _run_chunk(scenarios: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
     """Task body: run a chunk of cells on the warm runner, stream plain dicts.
 
-    Returning ``RunResult.to_dict()`` payloads keeps the result pickle small
-    and JSON-shaped (the same representation the sweep checkpoint uses), and
-    the parent rebuilds full :class:`RunResult` objects via ``from_dict`` —
-    a lossless round trip by contract.
+    Each payload is ``{"run": RunResult.to_dict(), "wall_seconds": float}``:
+    the ``to_dict`` form keeps the result pickle small and JSON-shaped (the
+    same representation the sweep checkpoint uses) and the parent rebuilds
+    full :class:`RunResult` objects via ``from_dict`` — a lossless round
+    trip by contract.  ``wall_seconds`` is measured here, in the worker, so
+    per-cell timing survives chunked submission.
     """
     runner = _WORKER_RUNNER
     if runner is None:  # pool built without initializer (defensive)
         runner = ExperimentRunner()
-    return [runner.run(scenario).to_dict() for scenario in scenarios]
+    payloads: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        started = time.perf_counter()
+        result = runner.run(scenario)
+        wall = time.perf_counter() - started
+        payloads.append({"run": result.to_dict(), "wall_seconds": wall})
+    return payloads
 
 
 class ParallelExecutor:
@@ -140,6 +161,7 @@ class ParallelExecutor:
         scenarios: Sequence[ScenarioSpec],
         runner: Optional[ExperimentRunner] = None,
         on_result: Optional[CellCallback] = None,
+        on_progress: Optional[CellProgress] = None,
     ) -> List[RunResult]:
         """Execute ``scenarios`` concurrently; returns results in submission order."""
         runner_spec = self._effective_spec(runner or self.runner)
@@ -164,10 +186,12 @@ class ParallelExecutor:
             for future in concurrent.futures.as_completed(futures):
                 start = futures[future]
                 for offset, payload in enumerate(future.result()):
-                    result = RunResult.from_dict(payload)
+                    result = RunResult.from_dict(payload["run"])
                     results[start + offset] = result
                     if on_result is not None:
                         on_result(start + offset, result)
+                    if on_progress is not None:
+                        on_progress(start + offset, result, payload["wall_seconds"])
         return [result for result in results if result is not None]
 
 

@@ -27,6 +27,8 @@ from repro.core.metrics import RunResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.net.failures import FailureInjector, FailureModelConfig, build_interface_failure_plan
 from repro.net.network import Network, NetworkConfig
+from repro.obs.sinks import NDJSONSink
+from repro.obs.telemetry import collect_run_telemetry
 from repro.protocols.base import ProtocolDeployment
 from repro.protocols.registry import DeploymentRegistry, SYSTEMS
 from repro.sim.engine import Simulator
@@ -59,11 +61,32 @@ class ExperimentRunner:
         self.network_config = network_config
 
     # ------------------------------------------------------------------ assembly
+    @staticmethod
+    def _build_tracer(spec: ScenarioSpec) -> Tracer:
+        """The tracer for one run: streaming, in-memory, or disabled.
+
+        ``spec.trace_path`` wins: the trace streams to an NDJSON file with
+        bounded memory (the sink is closed by :meth:`execute`'s teardown).
+        The header's ``meta`` carries the run identity so a capture is
+        self-describing; all values are deterministic.
+        """
+        if spec.trace_path:
+            meta = {
+                "system": spec.system,
+                "failure_rate": spec.failure_rate,
+                "seed": spec.seed,
+                "users": spec.n_users,
+                "change_time": spec.change_time,
+                "deadline": spec.deadline,
+            }
+            return Tracer(enabled=True, sink=NDJSONSink(spec.trace_path, meta=meta))
+        return Tracer(enabled=spec.trace)
+
     def setup(self, spec: ScenarioSpec) -> RunContext:
         """Construct the stack for ``spec`` without running it."""
         spec.validate()
         rng = RngRegistry(spec.seed)
-        sim = Simulator(tracer=Tracer(enabled=spec.trace))
+        sim = Simulator(tracer=self._build_tracer(spec))
         network = Network(sim, rng, config=self.network_config)
         tracker = ConsistencyTracker()
         deployment = self.registry.build(
@@ -98,7 +121,13 @@ class ExperimentRunner:
         return self.execute(context)
 
     def execute(self, context: RunContext) -> RunResult:
-        """Run an assembled :class:`RunContext` to the deadline and collect results."""
+        """Run an assembled :class:`RunContext` to the deadline and collect results.
+
+        The ``finally`` block is the explicit per-run reset: it stops every
+        node and the injector *and closes the tracer sink*, so no run-scoped
+        state — open trace files included — survives into the next run of a
+        warm (reused) runner, whether in-process or in a pool worker.
+        """
         spec = context.spec
         try:
             context.deployment.start()
@@ -109,6 +138,7 @@ class ExperimentRunner:
         finally:
             context.deployment.stop()
             context.injector.stop()
+            context.sim.tracer.close()
 
     def collect(self, context: RunContext) -> RunResult:
         """Extract the :class:`~repro.core.metrics.RunResult` after the run finished."""
@@ -139,6 +169,10 @@ class ExperimentRunner:
                 "executed_events": context.sim.executed_events,
                 "changed_version": changed_version,
                 "update_counts_by_kind": stats.update_counts_by_kind,
+                # RunTelemetry: deterministic engine/network counters (see
+                # repro.obs.telemetry for the field glossary).  Persisted
+                # with the run through checkpoints and --per-run output.
+                "telemetry": collect_run_telemetry(context.sim, context.network),
             },
         )
 

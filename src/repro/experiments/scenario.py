@@ -10,7 +10,7 @@ with equal specs produce identical results, event for event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.sim.rng import derive_seed
 
@@ -41,8 +41,12 @@ class ScenarioSpec:
     change_time: float = DEFAULT_CHANGE_TIME
     #: Measurement deadline / end of the run (D in the metrics).
     deadline: float = DEFAULT_SIM_DURATION
-    #: Keep the structured trace (debugging only; sweeps disable it).
+    #: Keep the structured trace in memory (debugging only; sweeps disable it).
     trace: bool = False
+    #: Stream the trace to this NDJSON file instead of accumulating it in
+    #: memory (implies tracing on).  Purely observational: the path never
+    #: feeds the seed derivation, so traced and untraced runs are identical.
+    trace_path: Optional[str] = None
     #: Extra keyword options forwarded to the deployment builder.
     builder_options: Dict[str, Any] = field(default_factory=dict)
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import MetricSummary, RunResult
@@ -39,6 +39,9 @@ from repro.experiments.scenario import (
     cell_key,
     run_seed,
 )
+from repro.obs.analyze import TELEMETRY_JOURNAL
+from repro.obs.progress import SweepProgress
+from repro.obs.sinks import trace_filename
 from repro.protocols.registry import DeploymentRegistry, SYSTEMS
 
 #: Observer called after every finished run (progress reporting).  With a
@@ -352,6 +355,42 @@ def load_checkpoint(
     return completed
 
 
+# --------------------------------------------------------------------------- telemetry journal
+#: Format tag of the sweep telemetry journal header line.
+TELEMETRY_FORMAT = "repro-telemetry"
+
+
+def _write_telemetry_journal(
+    path: str,
+    spec: SweepSpec,
+    cells: Sequence[SweepCell],
+    completed: Dict[str, RunResult],
+    walls: Dict[str, float],
+) -> None:
+    """Write the per-cell telemetry journal of a finished sweep.
+
+    One NDJSON line per cell, in grid order: the cell coordinates, the wall
+    time measured by the executor (``null`` for cells resumed from a
+    checkpoint — they were not executed this time), and the deterministic
+    :mod:`~repro.obs.telemetry` counters carried in the run's details.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {"format": TELEMETRY_FORMAT, "version": 1, "grid": spec.grid_dict()}
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for cell in cells:
+            run = completed[cell.key]
+            record = {
+                "key": cell.key,
+                "system": cell.system,
+                "users": cell.n_users,
+                "failure_rate": cell.failure_rate,
+                "run_index": cell.run_index,
+                "wall_seconds": walls.get(cell.key),
+                "telemetry": run.details.get("telemetry"),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
 # --------------------------------------------------------------------------- driver
 def sweep(
     spec: SweepSpec,
@@ -361,6 +400,8 @@ def sweep(
     *,
     executor: Optional[SweepExecutor] = None,
     checkpoint: Optional[str] = None,
+    trace_dir: Optional[str] = None,
+    progress: Optional[SweepProgress] = None,
 ) -> SweepResult:
     """Execute the full grid and aggregate each cell into a :class:`MetricSummary`.
 
@@ -371,6 +412,15 @@ def sweep(
     cells found in the file are skipped, new completions are persisted after
     every cell, and the aggregated result is byte-identical to an
     uninterrupted sweep.
+
+    Observability (both purely additive — they never change the results):
+
+    * ``trace_dir`` streams every executed cell's full event trace to
+      ``trace_dir/<cell-key>.ndjson`` with bounded memory, and writes a
+      ``telemetry.ndjson`` journal (per-cell counters + wall time, grid
+      order) next to the traces when the sweep finishes.
+    * ``progress`` receives live cell-completion updates (typically a
+      :class:`~repro.obs.progress.SweepProgress` printing to stderr).
     """
     if runner is None:
         runner = ExperimentRunner(registry)
@@ -391,6 +441,15 @@ def sweep(
         save_checkpoint(checkpoint, spec, completed, registry)
     pending = [cell for cell in cells if cell.key not in completed]
 
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        scenarios = [
+            replace(cell.scenario, trace_path=os.path.join(trace_dir, trace_filename(cell.key)))
+            for cell in pending
+        ]
+    else:
+        scenarios = [cell.scenario for cell in pending]
+
     def on_result(pending_index: int, result: RunResult) -> None:
         key = pending[pending_index].key
         completed[key] = result
@@ -399,9 +458,28 @@ def sweep(
         if observer is not None:
             observer(result)
 
-    executor.run_scenarios(
-        [cell.scenario for cell in pending], runner=runner, on_result=on_result
-    )
+    # Wall times are observational only: they flow to the progress reporter
+    # and the telemetry journal, never into RunResults (which must stay
+    # byte-identical across hosts, executors, and observability settings).
+    walls: Dict[str, float] = {}
+    on_progress: Optional[Callable[[int, RunResult, float], None]] = None
+    if progress is not None or trace_dir is not None:
+
+        def on_progress(pending_index: int, result: RunResult, wall_seconds: float) -> None:
+            key = pending[pending_index].key
+            walls[key] = wall_seconds
+            if progress is not None:
+                progress.cell_done(key, wall_seconds)
+
+    if progress is not None:
+        progress.start(len(cells), resumed=len(cells) - len(pending))
+    executor.run_scenarios(scenarios, runner=runner, on_result=on_result, on_progress=on_progress)
+    if progress is not None:
+        progress.finish()
+    if trace_dir is not None:
+        _write_telemetry_journal(
+            os.path.join(trace_dir, TELEMETRY_JOURNAL), spec, cells, completed, walls
+        )
 
     # Ordered aggregation: grid order, independent of execution/completion
     # order and of which cells were resumed from the checkpoint.

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.net.addressing import Address, MULTICAST_GROUP, validate_address
 from repro.net.interfaces import Endpoint
@@ -86,6 +86,10 @@ class Network:
         """All registered addresses, in join order."""
         return list(self._endpoints.keys())
 
+    def endpoints(self) -> Iterable[Endpoint]:
+        """All registered endpoints, in join order (telemetry aggregation)."""
+        return self._endpoints.values()
+
     # ------------------------------------------------------------------ helpers
     def transmission_delay(self) -> float:
         """Draw one transmission delay from the uniform 10-100 microsecond range."""
@@ -127,6 +131,9 @@ class Network:
 
         if record:
             self.stats.record_send(self.sim.now, message)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                self._trace_send(tracer, message, copies=1)
         sender_ep.interface.counters.sent += 1
 
         if receiver_ep is None:
@@ -142,6 +149,30 @@ class Network:
         else:
             self.sim.post(delay, self._deliver_with_callback, receiver_ep, message, on_delivered)
         return True
+
+    def _trace_send(self, tracer: Any, message: Message, copies: int) -> None:
+        """Mirror one recorded send into the trace (``net/send`` records).
+
+        Emitted exactly where :meth:`~repro.net.stats.MessageStats.record_send`
+        records the logical send, so a captured trace's message-kind counts
+        agree with the in-memory statistics (the ``trace summarize``
+        contract).  Only runs when tracing is enabled — the hot path pays a
+        single branch.
+        """
+        tracer.record(
+            self.sim.now,
+            "net",
+            "send",
+            protocol=message.protocol,
+            kind=message.kind,
+            sender=message.sender,
+            receiver=message.receiver,
+            layer=message.layer.value,
+            update_related=message.update_related,
+            multicast=message.is_multicast,
+            copies=copies,
+            msg_id=message.msg_id,
+        )
 
     @staticmethod
     def _deliver_with_callback(
@@ -200,6 +231,9 @@ class Network:
             # the redundant copies remain visible via ``count_copies=True``.
             state["recorded"] = True
             self.stats.record_send(self.sim.now, message, copies=copies)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                self._trace_send(tracer, message, copies=copies)
         sender_ep.interface.counters.sent += 1
         rand = self._rand
         config = self.config

@@ -64,10 +64,23 @@ class SentMessage:
 
 
 class MessageStats:
-    """Accumulates every transmission attempt made on a :class:`~repro.net.network.Network`."""
+    """Accumulates every transmission attempt made on a :class:`~repro.net.network.Network`.
+
+    The unfiltered aggregates (``total_sent()`` / ``update_messages()``
+    without a ``since`` bound) are maintained *incrementally* at record time,
+    so the hot aggregate queries are O(1) instead of rescanning the full
+    send list; only time-windowed queries walk the list.
+    """
 
     def __init__(self) -> None:
         self._sent: List[SentMessage] = []
+        # Incremental aggregates, updated once per record_send.  Each entry
+        # is a [count, copies] pair so count_copies toggles cost nothing.
+        self._copies_total = 0
+        self._multicast_total = 0
+        self._by_layer: Dict[MessageLayer, List[int]] = {}
+        self._update_discovery = [0, 0]  # update-related, discovery layer only
+        self._update_any = [0, 0]  # update-related, transport included
 
     def __len__(self) -> int:
         return len(self._sent)
@@ -77,8 +90,24 @@ class MessageStats:
         """All recorded transmissions in send order."""
         return self._sent
 
+    @property
+    def total_copies(self) -> int:
+        """Physical copies sent, multicast redundancy included (O(1))."""
+        return self._copies_total
+
+    @property
+    def multicast_sends(self) -> int:
+        """Logical multicast announcements recorded (O(1))."""
+        return self._multicast_total
+
+    def counts_by_layer(self) -> Dict[str, int]:
+        """Logical send counts per accounting layer (O(1); telemetry)."""
+        return {layer.value: pair[0] for layer, pair in sorted(self._by_layer.items())}
+
     def record_send(self, time: float, message: Message, copies: int = 1) -> None:
         """Record a transmission attempt (``copies`` > 1 for redundant multicast)."""
+        layer = message.layer
+        update_related = message.update_related
         self._sent.append(
             SentMessage(
                 time=time,
@@ -86,12 +115,26 @@ class MessageStats:
                 receiver=message.receiver,
                 protocol=message.protocol,
                 kind=message.kind,
-                layer=message.layer,
-                update_related=message.update_related,
+                layer=layer,
+                update_related=update_related,
                 multicast=message.is_multicast,
                 copies=copies,
             )
         )
+        self._copies_total += copies
+        if message.is_multicast:
+            self._multicast_total += 1
+        pair = self._by_layer.get(layer)
+        if pair is None:
+            pair = self._by_layer[layer] = [0, 0]
+        pair[0] += 1
+        pair[1] += copies
+        if update_related:
+            self._update_any[0] += 1
+            self._update_any[1] += copies
+            if layer == MessageLayer.DISCOVERY:
+                self._update_discovery[0] += 1
+                self._update_discovery[1] += copies
 
     # ------------------------------------------------------------------ queries
     def total_sent(
@@ -100,12 +143,23 @@ class MessageStats:
         since: Optional[float] = None,
         count_copies: bool = False,
     ) -> int:
-        """Total transmissions, optionally restricted by layer and start time."""
+        """Total transmissions, optionally restricted by layer and start time.
+
+        Unwindowed queries (``since is None``) are answered from the
+        incremental counters in O(1); a ``since`` bound falls back to the
+        list scan.
+        """
+        if since is None:
+            index = 1 if count_copies else 0
+            if layer is None:
+                return self._copies_total if count_copies else len(self._sent)
+            pair = self._by_layer.get(layer)
+            return 0 if pair is None else pair[index]
         total = 0
         for rec in self._sent:
             if layer is not None and rec.layer != layer:
                 continue
-            if since is not None and rec.time < since:
+            if rec.time < since:
                 continue
             total += rec.copies if count_copies else 1
         return total
@@ -116,14 +170,21 @@ class MessageStats:
         include_transport: bool = False,
         count_copies: bool = False,
     ) -> int:
-        """Number of update-related messages (*y* in the efficiency metrics)."""
+        """Number of update-related messages (*y* in the efficiency metrics).
+
+        O(1) when unwindowed (``since is None``); the change-time-windowed
+        form used by the metrics scans the list.
+        """
+        if since is None:
+            pair = self._update_any if include_transport else self._update_discovery
+            return pair[1] if count_copies else pair[0]
         total = 0
         for rec in self._sent:
             if not rec.update_related:
                 continue
             if not include_transport and rec.layer != MessageLayer.DISCOVERY:
                 continue
-            if since is not None and rec.time < since:
+            if rec.time < since:
                 continue
             total += rec.copies if count_copies else 1
         return total
@@ -157,3 +218,8 @@ class MessageStats:
     def clear(self) -> None:
         """Reset all counters."""
         self._sent.clear()
+        self._copies_total = 0
+        self._multicast_total = 0
+        self._by_layer.clear()
+        self._update_discovery = [0, 0]
+        self._update_any = [0, 0]

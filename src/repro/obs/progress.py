@@ -1,0 +1,102 @@
+"""Live sweep progress: cells done / total, throughput, ETA.
+
+:class:`SweepProgress` is the reporter behind the sweep CLI's ``--progress``
+flag.  The sweep driver calls :meth:`start` with the grid size (and how many
+cells a checkpoint already covered), then :meth:`cell_done` once per
+completed cell — in completion order, which with a chunked parallel executor
+means bursts — and finally :meth:`finish`.
+
+Output goes to an injectable stream (stderr in the CLI) and never to stdout,
+so piping sweep JSON stays clean.  Updates are throttled to at most one line
+per ``min_interval`` seconds to keep terminal noise and I/O bounded on fast
+grids; the first and last cells always print.  The clock is injectable for
+deterministic tests.
+
+Per-cell wall time flows through :meth:`cell_done`, so the reporter can name
+slow cells as they happen; the same figures are persisted per cell by the
+sweep's telemetry journal (``<trace-dir>/telemetry.ndjson``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    """Render an ETA as ``MM:SS`` (or ``H:MM:SS`` beyond an hour)."""
+    seconds = max(0, int(round(seconds)))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes:02d}:{secs:02d}"
+
+
+class SweepProgress:
+    """Prints ``done/total``, cells/sec and ETA as sweep cells complete."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+        min_interval: float = 0.25,
+    ) -> None:
+        self.stream = stream
+        self.clock = clock
+        self.min_interval = min_interval
+        self.total = 0
+        self.done = 0
+        self.resumed = 0
+        self._started_at = 0.0
+        self._last_print = float("-inf")
+        self.slowest_key: Optional[str] = None
+        self.slowest_seconds = 0.0
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self, total: int, resumed: int = 0) -> None:
+        """Begin reporting: ``total`` grid cells, ``resumed`` already done."""
+        self.total = total
+        self.resumed = resumed
+        self.done = resumed
+        self._started_at = self.clock()
+        self._last_print = float("-inf")
+        if resumed:
+            self._write(f"progress: resuming, {resumed}/{total} cells from checkpoint\n")
+
+    def cell_done(self, key: str, wall_seconds: Optional[float] = None) -> None:
+        """Record one completed cell (called in completion order)."""
+        self.done += 1
+        if wall_seconds is not None and wall_seconds > self.slowest_seconds:
+            self.slowest_seconds = wall_seconds
+            self.slowest_key = key
+        now = self.clock()
+        if self.done < self.total and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        elapsed = now - self._started_at
+        fresh = self.done - self.resumed
+        rate = fresh / elapsed if elapsed > 0 else 0.0
+        remaining = self.total - self.done
+        eta = _format_eta(remaining / rate) if rate > 0 else "--:--"
+        line = f"progress: {self.done}/{self.total} cells  {rate:.1f} cells/s  eta {eta}"
+        if wall_seconds is not None:
+            line += f"  ({key} in {wall_seconds:.3f}s)"
+        self._write(line + "\n")
+
+    def finish(self) -> None:
+        """Print the closing summary line."""
+        elapsed = self.clock() - self._started_at
+        fresh = self.done - self.resumed
+        rate = fresh / elapsed if elapsed > 0 else 0.0
+        done, total = self.done, self.total
+        line = f"progress: done, {done}/{total} cells in {elapsed:.1f}s  ({rate:.1f} cells/s"
+        if self.slowest_key is not None:
+            line += f"; slowest cell {self.slowest_key} at {self.slowest_seconds:.3f}s"
+        self._write(line + ")\n")
+
+    def _write(self, text: str) -> None:
+        stream = self.stream
+        if stream is not None:
+            stream.write(text)
+            stream.flush()

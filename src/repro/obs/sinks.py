@@ -1,0 +1,215 @@
+"""Trace sinks: pluggable destinations for structured trace records.
+
+A :class:`~repro.sim.tracing.Tracer` forwards every record it accepts to one
+sink:
+
+* :class:`MemorySink` — appends to an in-process list (the classic
+  behaviour; supports the tracer's query helpers);
+* :class:`NDJSONSink` — streams records to a newline-delimited JSON file as
+  they happen, so a full per-cell trace of an N=1000 run costs bounded
+  memory instead of millions of live record objects;
+* :class:`NullSink` — discards everything (tracing structurally on, output
+  off).
+
+NDJSON file format (schema version :data:`TRACE_SCHEMA_VERSION`)
+----------------------------------------------------------------
+Line 1 is a header object::
+
+    {"format": "repro-trace", "version": 1, "meta": {...}}
+
+``meta`` carries optional run identity (system, seed, failure rate, ...);
+it contains only deterministic values, never wall-clock timestamps.  Every
+further line is one record::
+
+    {"t": <sim time>, "cat": <category>, "ev": <event>, "fields": {...}}
+
+Keys are sorted and floats keep their full ``repr``, so a trace file is
+byte-deterministic for a given run.  Field values that are not JSON-native
+are serialised via ``repr`` — a trace must never make a run fail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
+
+from repro.sim.tracing import TraceRecord
+
+#: The ``format`` tag of the NDJSON header line.
+TRACE_FORMAT = "repro-trace"
+
+#: Version of the NDJSON record schema (bumped on incompatible changes).
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Destination interface for trace records.
+
+    Concrete sinks implement :meth:`emit`; :meth:`close` and :meth:`clear`
+    have safe defaults.  The tracer calls :meth:`emit` once per accepted
+    record — implementations must be cheap and must never raise into the
+    simulation.
+    """
+
+    def emit(self, record: TraceRecord) -> None:
+        """Accept one record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+    def clear(self) -> None:
+        """Drop buffered records, where the sink supports it."""
+        raise RuntimeError(f"{type(self).__name__} cannot drop already-emitted records")
+
+
+class MemorySink(TraceSink):
+    """Keeps every record in an in-process list (the default sink)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class NullSink(TraceSink):
+    """Discards every record."""
+
+    __slots__ = ()
+
+    def emit(self, record: TraceRecord) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+class NDJSONSink(TraceSink):
+    """Streams records to an NDJSON file (one JSON object per line).
+
+    The file (and any missing parent directories) is created lazily on the
+    first record, so a run that traces nothing leaves no file behind unless
+    ``eager=True`` forces the header out immediately.
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None, eager: bool = False):
+        self.path = path
+        self.meta = dict(meta) if meta else {}
+        self._handle: Optional[TextIO] = None
+        if eager:
+            self._open()
+
+    def _open(self) -> TextIO:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        handle = open(self.path, "w", encoding="utf-8")
+        header: Dict[str, Any] = {"format": TRACE_FORMAT, "version": TRACE_SCHEMA_VERSION}
+        if self.meta:
+            header["meta"] = self.meta
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        self._handle = handle
+        return handle
+
+    def emit(self, record: TraceRecord) -> None:
+        handle = self._handle
+        if handle is None:
+            handle = self._open()
+        line = json.dumps(
+            {
+                "t": record.time,
+                "cat": record.category,
+                "ev": record.event,
+                "fields": record.fields,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+        handle.write(line + "\n")
+
+    def close(self) -> None:
+        handle = self._handle
+        if handle is not None:
+            self._handle = None
+            handle.close()
+
+
+# --------------------------------------------------------------------------- reading
+def read_trace_header(path: str) -> Dict[str, Any]:
+    """Parse and validate the header line of an NDJSON trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        raise ValueError(f"{path!r} is not an NDJSON trace file (bad header)") from None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path!r} is not an NDJSON trace file (format tag missing)")
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path!r} has trace schema version {header.get('version')!r}, "
+            f"this reader understands {TRACE_SCHEMA_VERSION}"
+        )
+    return header
+
+
+def iter_trace_file(path: str) -> Iterator[TraceRecord]:
+    """Yield the records of one NDJSON trace file in write order.
+
+    Raises :class:`ValueError` on a missing/incompatible header or a corrupt
+    record line; a torn final line (interrupted run) is tolerated and
+    dropped, matching the checkpoint journal's crash semantics.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path!r} is empty, not an NDJSON trace file")
+    header = json.loads(lines[0]) if lines[0].startswith("{") else None
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path!r} is not an NDJSON trace file (format tag missing)")
+    if header.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path!r} has trace schema version {header.get('version')!r}, "
+            f"this reader understands {TRACE_SCHEMA_VERSION}"
+        )
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+            record = TraceRecord(
+                time=float(data["t"]),
+                category=data["cat"],
+                event=data["ev"],
+                fields=dict(data.get("fields") or {}),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            if number == len(lines):  # torn final line from an interrupted run
+                return
+            raise ValueError(f"{path!r} is corrupt at line {number}") from None
+        yield record
+
+
+def load_trace(path: str) -> Tuple[Dict[str, Any], List[TraceRecord]]:
+    """Read one NDJSON trace file: ``(header, records)``."""
+    return read_trace_header(path), list(iter_trace_file(path))
+
+
+def trace_filename(cell_key: str) -> str:
+    """Deterministic, filesystem-safe NDJSON file name for one sweep cell.
+
+    Cell keys contain ``~``/``@``/``#`` separators; every run of characters
+    outside ``[A-Za-z0-9._-]`` collapses to one ``_``.  Keys share a fixed
+    shape (system, users, rate, replication), so distinct keys stay distinct
+    after sanitisation.
+    """
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", cell_key) + ".ndjson"

@@ -1,0 +1,104 @@
+"""Per-run telemetry: the always-on counters assembled into one dict.
+
+Every run carries a ``RunTelemetry`` dict under ``RunResult.details
+["telemetry"]``.  The counters it aggregates are maintained inline by the
+hot paths (one integer add per event/send — cheap enough to stay on for
+every sweep) and read out once, after the run finished, by
+:func:`collect_run_telemetry`.
+
+Invariant: every value in the dict is a deterministic function of the run's
+seed and spec.  Wall-clock time is deliberately *not* part of RunTelemetry —
+per-cell wall time is measured by the sweep executors and reported through
+the progress/telemetry-journal channel instead — so results (and therefore
+sweep output, checkpoint journals, and the serial-vs-parallel byte-identity
+gate) are unaffected by how fast the host happened to be.
+
+Field glossary (see also EXPERIMENTS.md, "Observability")
+---------------------------------------------------------
+``engine.events_scheduled``
+    Total calendar keys drawn (cancellable events + fire-and-forget posts +
+    wheel timers; the shared sequence counter counts them all).
+``engine.events_fired``
+    Callbacks actually executed by the run loop.
+``engine.events_cancelled``
+    Cancellations of calendar events (timer cancellations count separately).
+``engine.heap_hwm``
+    High-water mark of the event heap (live + buried-cancelled entries).
+``engine.heap_compactions``
+    Times the event heap was rebuilt to shed cancelled entries.
+``timers.scheduled`` / ``timers.cancelled`` / ``timers.heap_hwm`` /
+``timers.compactions``
+    The same, for the batched timer wheel.
+``net.sends``
+    Logical transmissions recorded (one per unicast attempt that left the
+    transmitter, one per multicast announcement).
+``net.send_copies``
+    Physical copies including multicast redundancy.
+``net.multicast_sends``
+    Logical multicast announcements.
+``net.sends_by_layer``
+    Logical sends split by accounting layer (``discovery``/``transport``).
+``net.update_sends``
+    Update-related discovery-layer sends over the whole run (unwindowed;
+    the metric *y* additionally applies the change-time window).
+``net.delivered``
+    Messages that reached a receiver handler (receiver interface up).
+``net.dropped_tx`` / ``net.dropped_rx``
+    Transmission attempts suppressed by a downed transmitter / deliveries
+    suppressed by a downed receiver, summed over all interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # imported for annotations only
+    from repro.net.network import Network
+    from repro.sim.engine import Simulator
+
+#: Version of the RunTelemetry dict layout (bumped on incompatible changes).
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+def collect_run_telemetry(sim: "Simulator", network: "Network") -> Dict[str, Any]:
+    """Assemble the RunTelemetry dict from the engine and network counters.
+
+    Called once per run after the simulation finished; reading the counters
+    costs nothing on the hot path.  All values are plain ints/dicts (JSON
+    native) and deterministic for a given spec + seed.
+    """
+    queue = sim._queue
+    timers = sim.timers
+    stats = network.stats
+    delivered = dropped_tx = dropped_rx = 0
+    for endpoint in network.endpoints():
+        counters = endpoint.interface.counters
+        delivered += counters.received
+        dropped_tx += counters.dropped_tx
+        dropped_rx += counters.dropped_rx
+    return {
+        "version": TELEMETRY_SCHEMA_VERSION,
+        "engine": {
+            "events_scheduled": queue._next_seq,
+            "events_fired": sim.executed_events,
+            "events_cancelled": queue.cancelled_total,
+            "heap_hwm": queue.hwm,
+            "heap_compactions": queue.compactions,
+        },
+        "timers": {
+            "scheduled": timers.scheduled_total,
+            "cancelled": timers.cancelled_total,
+            "heap_hwm": timers.hwm,
+            "compactions": timers.compactions,
+        },
+        "net": {
+            "sends": len(stats),
+            "send_copies": stats.total_copies,
+            "multicast_sends": stats.multicast_sends,
+            "sends_by_layer": stats.counts_by_layer(),
+            "update_sends": stats.update_messages(),
+            "delivered": delivered,
+            "dropped_tx": dropped_tx,
+            "dropped_rx": dropped_rx,
+        },
+    }

@@ -155,6 +155,8 @@ class Simulator:
         queue._next_seq = seq + 1
         heappush(queue._heap, (self._now + delay, priority, seq, callback, args))
         queue._live += 1
+        if len(queue._heap) > queue.hwm:
+            queue.hwm = len(queue._heap)
 
     def post_at(
         self,
@@ -173,6 +175,8 @@ class Simulator:
         queue._next_seq = seq + 1
         heappush(queue._heap, (time, priority, seq, callback, args))
         queue._live += 1
+        if len(queue._heap) > queue.hwm:
+            queue.hwm = len(queue._heap)
 
     def cancel(self, handle: EventHandle) -> bool:
         """Cancel a previously scheduled event."""

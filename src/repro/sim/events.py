@@ -103,13 +103,18 @@ class Event:
 class EventQueue:
     """Deterministic priority queue of scheduled callbacks."""
 
-    __slots__ = ("_heap", "_next_seq", "_live", "_dead")
+    __slots__ = ("_heap", "_next_seq", "_live", "_dead", "hwm", "cancelled_total", "compactions")
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
         self._next_seq = 0
         self._live = 0
         self._dead = 0  # cancelled Event entries still buried in the heap
+        # Always-on telemetry counters (read by repro.obs.telemetry): heap
+        # high-water mark, lifetime cancellations, and compaction passes.
+        self.hwm = 0
+        self.cancelled_total = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -144,6 +149,8 @@ class EventQueue:
         event = Event(time, priority, seq, callback, args)
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
+        if len(self._heap) > self.hwm:
+            self.hwm = len(self._heap)
         return event
 
     def push_call(
@@ -158,6 +165,8 @@ class EventQueue:
         self._next_seq = seq + 1
         heapq.heappush(self._heap, (time, priority, seq, callback, args))
         self._live += 1
+        if len(self._heap) > self.hwm:
+            self.hwm = len(self._heap)
 
     # ------------------------------------------------------------------ cancellation
     def cancel(self, event: Event) -> bool:
@@ -167,6 +176,7 @@ class EventQueue:
         event.cancelled = True
         self._live -= 1
         self._dead += 1
+        self.cancelled_total += 1
         if self._dead > _MIN_COMPACT and self._dead * 2 > len(self._heap):
             self._compact()
         return True
@@ -181,6 +191,7 @@ class EventQueue:
         heap[:] = [entry for entry in heap if len(entry) == 5 or not entry[3].cancelled]
         heapq.heapify(heap)
         self._dead = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------ removal
     def peek_time(self) -> Optional[float]:

@@ -44,7 +44,17 @@ class TimerWheel:
     hot path; everything else goes through the methods below.
     """
 
-    __slots__ = ("_sim", "_queue", "_heap", "_live", "_dead")
+    __slots__ = (
+        "_sim",
+        "_queue",
+        "_heap",
+        "_live",
+        "_dead",
+        "hwm",
+        "scheduled_total",
+        "cancelled_total",
+        "compactions",
+    )
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
@@ -52,6 +62,11 @@ class TimerWheel:
         self._heap: List[tuple] = []  # (time, priority, sequence, Event)
         self._live = 0
         self._dead = 0
+        # Always-on telemetry counters (read by repro.obs.telemetry).
+        self.hwm = 0
+        self.scheduled_total = 0
+        self.cancelled_total = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -92,6 +107,9 @@ class TimerWheel:
         event = Event(time, priority, sequence, callback, args)
         heapq.heappush(self._heap, (time, priority, sequence, event))
         self._live += 1
+        self.scheduled_total += 1
+        if len(self._heap) > self.hwm:
+            self.hwm = len(self._heap)
         return event
 
     def cancel(self, event: Event) -> bool:
@@ -101,6 +119,7 @@ class TimerWheel:
         event.cancelled = True
         self._live -= 1
         self._dead += 1
+        self.cancelled_total += 1
         if self._dead > _MIN_COMPACT and self._dead * 2 > len(self._heap):
             # In place (slice assignment, not rebinding): the engine's run
             # loop holds a direct reference to this list across the run.
@@ -108,6 +127,7 @@ class TimerWheel:
             heap[:] = [entry for entry in heap if not entry[3].cancelled]
             heapq.heapify(heap)
             self._dead = 0
+            self.compactions += 1
         return True
 
     # ------------------------------------------------------------------ inspection

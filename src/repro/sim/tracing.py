@@ -4,12 +4,21 @@ Every model component records salient events (message sent, lease expired,
 user became consistent, ...) as :class:`TraceRecord` entries.  The analysis
 layer uses the trace for debugging and for the per-run message accounting
 described in the paper's Update Efficiency metric.
+
+Records flow through a pluggable sink (:mod:`repro.obs.sinks`): the default
+in-memory sink keeps the classic query-able record list, the NDJSON sink
+streams records to disk with bounded memory (full traces at N=1000), and the
+null sink discards them.  The tracer itself only decides *whether* a record
+is made; the sink decides *where* it goes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # imported for annotations only (obs.sinks imports this module)
+    from repro.obs.sinks import TraceSink
 
 
 @dataclass(frozen=True)
@@ -31,37 +40,60 @@ class TraceRecord:
 
 
 class Tracer:
-    """Append-only list of :class:`TraceRecord` with simple query helpers.
+    """Gate and router for :class:`TraceRecord` entries.
 
     Tracing can be disabled entirely (``enabled=False``) for large parameter
     sweeps where only the aggregate counters matter; the protocol models
-    always go through :meth:`record` so a disabled tracer is nearly free.
+    always go through :meth:`record` so a disabled tracer is nearly free
+    (one attribute load and one branch, no record allocation).
+
+    ``sink`` selects the destination (default: an in-memory
+    :class:`~repro.obs.sinks.MemorySink`).  The query helpers
+    (:meth:`filter`, :meth:`count`, :meth:`categories`, :attr:`records`)
+    operate on the in-memory record list and therefore see nothing when a
+    streaming or null sink is installed — use ``python -m repro trace`` to
+    query streamed captures.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sink: Optional["TraceSink"] = None) -> None:
+        if sink is None:
+            # Function-level import: obs.sinks imports TraceRecord from this
+            # module, so a top-level import would be circular.
+            from repro.obs.sinks import MemorySink
+
+            sink = MemorySink()
         self.enabled = enabled
-        self._records: List[TraceRecord] = []
+        self.sink = sink
+        self._emit = sink.emit
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        return iter(self.records)
 
     @property
     def records(self) -> List[TraceRecord]:
-        """All records in insertion (time) order."""
-        return self._records
+        """All in-memory records in insertion (time) order.
+
+        Empty for non-memory sinks: streamed records live in the sink's
+        file, not in the process.
+        """
+        return getattr(self.sink, "records", [])
 
     def record(self, time: float, category: str, event: str, **fields: Any) -> None:
         """Append a record (no-op when tracing is disabled)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time=time, category=category, event=event, fields=fields))
+        self._emit(TraceRecord(time=time, category=category, event=event, fields=fields))
 
     def clear(self) -> None:
-        """Drop all records."""
-        self._records.clear()
+        """Drop all records (memory/null sinks only; streaming sinks raise)."""
+        self.sink.clear()
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent; part of per-run teardown)."""
+        self.sink.close()
 
     # ------------------------------------------------------------------ queries
     def filter(
@@ -72,9 +104,14 @@ class Tracer:
         until: Optional[float] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
     ) -> List[TraceRecord]:
-        """Return records matching all of the given criteria."""
+        """Return records matching all of the given criteria.
+
+        Boundary semantics: ``since`` and ``until`` are both *inclusive* —
+        a record at exactly ``since`` or exactly ``until`` matches.  The
+        offline filters of :mod:`repro.obs.analyze` follow the same rule.
+        """
         out = []
-        for rec in self._records:
+        for rec in self.records:
             if category is not None and rec.category != category:
                 continue
             if event is not None and rec.event != event:
@@ -94,4 +131,4 @@ class Tracer:
 
     def categories(self) -> Iterable[str]:
         """Distinct categories present in the trace."""
-        return sorted({rec.category for rec in self._records})
+        return sorted({rec.category for rec in self.records})
