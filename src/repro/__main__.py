@@ -23,6 +23,9 @@ Subcommands
   write the perf trajectory file (default ``BENCH_sweep.json``);
   ``--baseline`` gates the run against a committed bench file.
 * ``systems`` — list the deployable systems of the protocol registry.
+* ``scenarios`` — list the disruption-scenario families of the scenario
+  registry (selectable on ``sweep``/``run``/``profile`` via
+  ``--scenario churn@rate=0.1``; default ``table4`` is the paper's model).
 
 Rates are given in percent (``--rates 0,10,20`` sweeps lambda = 0, 0.1, 0.2).
 The sweep's ``--users`` accepts a comma-separated list of topology sizes
@@ -64,6 +67,7 @@ from repro.experiments.scenario import (
     DEFAULT_SIM_DURATION,
     ScenarioSpec,
 )
+from repro.experiments.scenarios import SCENARIOS, UnknownScenarioError, parse_scenario
 from repro.experiments.sweep import SweepSpec, sweep
 from repro.obs.analyze import (
     format_kinds,
@@ -131,6 +135,15 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser, users_grid: bool = 
         type=float,
         default=DEFAULT_SIM_DURATION,
         help=f"measurement deadline in seconds (default: {DEFAULT_SIM_DURATION:g})",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="table4",
+        metavar="NAME[@K=V,...]",
+        help=(
+            "disruption-scenario family and options, e.g. churn@rate=0.1 "
+            "(default: table4, the paper's model; see `python -m repro scenarios`)"
+        ),
     )
 
 
@@ -343,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     subparsers.add_parser("systems", help="list deployable systems")
+    subparsers.add_parser("scenarios", help="list disruption-scenario families")
     return parser
 
 
@@ -352,6 +366,7 @@ def _split_systems(values: Sequence[str]) -> List[str]:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    scenario_name, scenario_options = parse_scenario(args.scenario)
     spec = SweepSpec(
         systems=tuple(_split_systems(args.systems)),
         failure_rates=tuple(args.rates),
@@ -361,6 +376,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         users=tuple(args.users),
         change_time=args.change_time,
         deadline=args.deadline,
+        scenario_name=scenario_name,
+        scenario_options=scenario_options,
     )
     result = sweep(
         spec,
@@ -378,6 +395,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    scenario_name, scenario_options = parse_scenario(args.scenario)
     spec = ScenarioSpec(
         system=args.system,
         failure_rate=args.rate,
@@ -386,6 +404,8 @@ def _command_run(args: argparse.Namespace) -> int:
         change_time=args.change_time,
         deadline=args.deadline,
         trace_path=args.trace,
+        scenario=scenario_name,
+        scenario_options=scenario_options,
     )
     result = ExperimentRunner().run(spec)
     write_text(to_json(run_to_dict(result)), args.out)
@@ -411,6 +431,7 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 
 def _command_profile(args: argparse.Namespace) -> int:
+    scenario_name, scenario_options = parse_scenario(args.scenario)
     spec = ScenarioSpec(
         system=args.system,
         failure_rate=args.rate,
@@ -418,6 +439,8 @@ def _command_profile(args: argparse.Namespace) -> int:
         n_users=args.users,
         change_time=args.change_time,
         deadline=args.deadline,
+        scenario=scenario_name,
+        scenario_options=scenario_options,
     )
     runner = ExperimentRunner()
     profiler = cProfile.Profile()
@@ -468,6 +491,18 @@ def _command_systems() -> int:
     return 0
 
 
+def _command_scenarios() -> int:
+    for family in sorted(SCENARIOS, key=lambda f: f.name):
+        options = ",".join(
+            f"{key}={value}" for key, value in sorted(family.defaults.items())
+        )
+        line = f"{family.name:<12} [{options or 'no options'}]"
+        if family.description:
+            line += f"  {family.description}"
+        print(line)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -481,8 +516,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "scenarios":
+            return _command_scenarios()
         return _command_systems()
-    except (UnknownSystemError, ValueError, OSError) as exc:
+    except (UnknownSystemError, UnknownScenarioError, ValueError, OSError) as exc:
         # Bad grids (e.g. --runs 0) and unwritable --out paths surface as
         # clean CLI errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)

@@ -13,7 +13,11 @@ standard catalogue covers
   N = 1000 / 10000 for frodo3), which time the simulator core itself rather
   than executor overhead, and
 * ``users-scaling`` — one sweep whose ``users`` axis spans topology sizes,
-  timing the N-as-grid-dimension path end to end.
+  timing the N-as-grid-dimension path end to end, and
+* ``scenario:<name>`` — one small grid per non-default disruption-scenario
+  family (churn, cascade, lossy, ...), so the cost of the scenario layer's
+  extra events (leave/rejoin, loss windows, extra changes) is attributable
+  per family.
 
 ``quick=True`` shrinks replication counts, the rate grid and the largest
 topology sizes for CI; the cell *shape* (which systems, which kind of grid)
@@ -91,7 +95,34 @@ def standard_workloads(
         )
     )
     workloads.extend(_scale_workloads(quick, names))
+    workloads.extend(_scenario_workloads(quick))
     return workloads
+
+
+def _scenario_workloads(quick: bool) -> List[BenchWorkload]:
+    """One small frodo3 grid per non-default scenario family.
+
+    Frodo3 keeps the cells cheap; the point is timing the scenario layer
+    (plan building, churn restarts, loss-window draws, extra changes), not
+    re-timing the protocols.  The grids are identical in quick and full
+    variants — they are already CI-sized.
+    """
+    from repro.experiments.scenarios import SCENARIOS
+
+    return [
+        BenchWorkload(
+            name=f"scenario:{name}",
+            spec=SweepSpec(
+                systems=("frodo3",),
+                failure_rates=(0.0, 0.2),
+                runs_per_cell=QUICK_RUNS,
+                base_seed=BENCH_BASE_SEED,
+                scenario_name=name,
+            ),
+        )
+        for name in SCENARIOS.names()
+        if name != "table4"
+    ]
 
 
 def _scale_workloads(quick: bool, names: Sequence[str]) -> List[BenchWorkload]:

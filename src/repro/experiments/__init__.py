@@ -6,6 +6,9 @@ experiment:
 
 * :mod:`repro.experiments.scenario` — :class:`ScenarioSpec`, the full
   description of one run,
+* :mod:`repro.experiments.scenarios` — the named disruption-scenario
+  families (``table4``, ``churn``, ``cascade``, ...) that turn a spec into a
+  :class:`~repro.net.failures.DisruptionPlan`,
 * :mod:`repro.experiments.runner` — :class:`ExperimentRunner`, which builds
   the stack (deployment via the protocol registry, failure plan, consistency
   tracker), triggers the service change and extracts a
@@ -27,6 +30,14 @@ from repro.experiments.scenario import (
     ScenarioSpec,
     cell_key,
     run_seed,
+)
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    ScenarioFamily,
+    ScenarioRegistry,
+    UnknownScenarioError,
+    parse_scenario,
+    scenario_token,
 )
 from repro.experiments.runner import ExperimentRunner, RunContext, RunnerSpec, run_scenario
 from repro.experiments.executors import (
@@ -61,6 +72,12 @@ __all__ = [
     "ScenarioSpec",
     "cell_key",
     "run_seed",
+    "SCENARIOS",
+    "ScenarioFamily",
+    "ScenarioRegistry",
+    "UnknownScenarioError",
+    "parse_scenario",
+    "scenario_token",
     "ExperimentRunner",
     "RunContext",
     "RunnerSpec",

@@ -25,7 +25,7 @@ from typing import Any, Dict, Optional
 from repro.core.consistency import ConsistencyTracker
 from repro.core.metrics import RunResult
 from repro.experiments.scenario import ScenarioSpec
-from repro.net.failures import FailureInjector, FailureModelConfig, build_interface_failure_plan
+from repro.net.failures import DisruptionPlan, FailureInjector
 from repro.net.network import Network, NetworkConfig
 from repro.obs.sinks import NDJSONSink
 from repro.obs.telemetry import collect_run_telemetry
@@ -47,6 +47,7 @@ class RunContext:
     tracker: ConsistencyTracker
     deployment: ProtocolDeployment
     injector: FailureInjector
+    plan: DisruptionPlan
 
 
 class ExperimentRunner:
@@ -79,6 +80,10 @@ class ExperimentRunner:
                 "change_time": spec.change_time,
                 "deadline": spec.deadline,
             }
+            if spec.scenario != "table4":
+                # Only non-default scenarios tag the header: table4 trace
+                # files stay byte-identical to pre-scenario captures.
+                meta["scenario"] = spec.scenario_token
             return Tracer(enabled=True, sink=NDJSONSink(spec.trace_path, meta=meta))
         return Tracer(enabled=spec.trace)
 
@@ -93,17 +98,22 @@ class ExperimentRunner:
             spec.system, sim, network, tracker, n_users=spec.n_users, **spec.builder_options
         )
 
-        failure_config = FailureModelConfig(
-            sim_duration=spec.deadline,
-            latest_onset=spec.deadline,
+        # The spec's scenario family turns the built deployment into this
+        # run's disruption plan (the default ``table4`` family reproduces
+        # the paper's one-outage-per-node draw byte-for-byte).
+        from repro.experiments.scenarios import SCENARIOS
+
+        plan = SCENARIOS.get(spec.scenario).build(spec, deployment, rng)
+        nodes = {node.node_id: node for node in deployment.all_nodes}
+        injector = FailureInjector(
+            sim,
+            network,
+            plan.outages,
+            churn=plan.churn,
+            loss_windows=plan.loss_windows,
+            deadline=spec.deadline,
+            node_resolver=nodes.get,
         )
-        plan = build_interface_failure_plan(
-            deployment.node_ids(),
-            spec.failure_rate,
-            rng.stream("failures"),
-            config=failure_config,
-        )
-        injector = FailureInjector(sim, network, plan)
         return RunContext(
             spec=spec,
             sim=sim,
@@ -112,6 +122,7 @@ class ExperimentRunner:
             tracker=tracker,
             deployment=deployment,
             injector=injector,
+            plan=plan,
         )
 
     # ------------------------------------------------------------------ execution
@@ -133,6 +144,8 @@ class ExperimentRunner:
             context.deployment.start()
             context.injector.start()
             context.sim.schedule_at(spec.change_time, context.deployment.trigger_service_change)
+            for change_time in context.plan.extra_change_times:
+                context.sim.schedule_at(change_time, context.deployment.trigger_service_change)
             context.sim.run(until=spec.deadline)
             return self.collect(context)
         finally:
@@ -172,7 +185,9 @@ class ExperimentRunner:
                 # RunTelemetry: deterministic engine/network counters (see
                 # repro.obs.telemetry for the field glossary).  Persisted
                 # with the run through checkpoints and --per-run output.
-                "telemetry": collect_run_telemetry(context.sim, context.network),
+                "telemetry": collect_run_telemetry(
+                    context.sim, context.network, context.injector
+                ),
             },
         )
 

@@ -49,6 +49,12 @@ class ScenarioSpec:
     trace_path: Optional[str] = None
     #: Extra keyword options forwarded to the deployment builder.
     builder_options: Dict[str, Any] = field(default_factory=dict)
+    #: Scenario-family name from :data:`repro.experiments.scenarios.SCENARIOS`.
+    #: The default, ``"table4"``, is the paper's model: one outage per node,
+    #: one service change.
+    scenario: str = "table4"
+    #: Options of the scenario family (e.g. ``{"rate": 0.1}`` for ``churn``).
+    scenario_options: Dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> "ScenarioSpec":
         """Raise :class:`ValueError` on inconsistent parameters."""
@@ -60,7 +66,18 @@ class ScenarioSpec:
             raise ValueError("change_time must be positive")
         if self.deadline <= self.change_time:
             raise ValueError("deadline must be after the change time")
+        # Imported lazily: the scenario registry builds on this module.
+        from repro.experiments.scenarios import SCENARIOS
+
+        SCENARIOS.get(self.scenario).validate_options(self.scenario_options)
         return self
+
+    @property
+    def scenario_token(self) -> str:
+        """Canonical ``name@k=v,...`` form of the scenario selection."""
+        from repro.experiments.scenarios import scenario_token
+
+        return scenario_token(self.scenario, self.scenario_options)
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """Copy of this spec with a different master seed (one per replication)."""
@@ -83,13 +100,29 @@ def run_seed(base_seed: int, system: str, failure_rate: float, run_index: int) -
     return derive_seed(base_seed, "run", system, repr(float(failure_rate)), int(run_index))
 
 
-def cell_key(system: str, failure_rate: float, run_index: int, n_users: int = 5) -> str:
-    """Stable string identity of one sweep cell (system x users x rate x replication).
+def cell_key(
+    system: str,
+    failure_rate: float,
+    run_index: int,
+    n_users: int = 5,
+    scenario: str = "table4",
+) -> str:
+    """Stable string identity of one sweep cell (v3: system x users x rate x replication x scenario).
 
     Like :func:`run_seed` the key depends only on the cell coordinates, never
     on grid position.  (Checkpoint journals additionally pin the full grid:
     resume requires the identical sweep spec, not merely matching keys.)
     The rate uses ``repr`` (not a formatted percentage) so distinct floats can
     never collide.
+
+    ``scenario`` is the canonical scenario token
+    (:func:`~repro.experiments.scenarios.scenario_token`).  The default
+    ``table4`` scenario keeps the bare v2 shape — existing trace file names
+    and journal keys for the paper's model are unchanged — while every other
+    scenario appends ``!<token>``, so a churn journal can never silently
+    collide with a table4 journal.
     """
-    return f"{system}~{int(n_users)}u@{float(failure_rate)!r}#{int(run_index)}"
+    key = f"{system}~{int(n_users)}u@{float(failure_rate)!r}#{int(run_index)}"
+    if scenario != "table4":
+        key += f"!{scenario}"
+    return key

@@ -52,7 +52,12 @@ RunObserver = Callable[[RunResult], None]
 #: Format version of the checkpoint file (bumped on incompatible changes).
 #: Version 2: cell keys carry the topology size (the ``users`` axis) and the
 #: grid header records the full users grid.
-CHECKPOINT_VERSION = 2
+#: Version 3: sweeps carry a scenario selection; non-default scenarios
+#: append their canonical token to the cell key and the grid header, so a
+#: journal written by one scenario can never be resumed by another — and
+#: journals from the pre-scenario format fail loudly on this version check
+#: instead of silently colliding.
+CHECKPOINT_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -74,7 +79,13 @@ class SweepCell:
     @property
     def key(self) -> str:
         """Stable checkpoint identity (see :func:`~repro.experiments.scenario.cell_key`)."""
-        return cell_key(self.system, self.failure_rate, self.run_index, self.n_users)
+        return cell_key(
+            self.system,
+            self.failure_rate,
+            self.run_index,
+            self.n_users,
+            scenario=self.scenario.scenario_token,
+        )
 
 
 @dataclass(frozen=True)
@@ -99,6 +110,20 @@ class SweepSpec:
     change_time: float = DEFAULT_CHANGE_TIME
     deadline: float = DEFAULT_SIM_DURATION
     builder_options: Dict[str, Any] = field(default_factory=dict)
+    #: Scenario family applied to every cell (``scenario`` is taken by the
+    #: per-cell spec factory method below).  The default, ``table4``, is the
+    #: paper's model and keeps sweep output byte-identical to the
+    #: pre-scenario harness.
+    scenario_name: str = "table4"
+    #: Options of the scenario family (e.g. ``{"rate": 0.1}`` for ``churn``).
+    scenario_options: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def scenario_token(self) -> str:
+        """Canonical ``name@k=v,...`` token of the sweep's scenario selection."""
+        from repro.experiments.scenarios import scenario_token
+
+        return scenario_token(self.scenario_name, self.scenario_options)
 
     @property
     def users_grid(self) -> Tuple[int, ...]:
@@ -141,6 +166,8 @@ class SweepSpec:
             change_time=self.change_time,
             deadline=self.deadline,
             builder_options=dict(self.builder_options),
+            scenario=self.scenario_name,
+            scenario_options=dict(self.scenario_options),
         )
 
     def cells(self) -> List[Tuple[str, int, float]]:
@@ -167,8 +194,13 @@ class SweepSpec:
         ]
 
     def grid_dict(self) -> Dict[str, Any]:
-        """The grid parameters as plain data (JSON output and checkpoint identity)."""
-        return {
+        """The grid parameters as plain data (JSON output and checkpoint identity).
+
+        The scenario token joins the dict only for non-default scenarios:
+        the default ``table4`` sweep's JSON output must stay byte-identical
+        to the pre-scenario harness (a pinned fixture enforces this).
+        """
+        grid = {
             "systems": list(self.systems),
             "failure_rates": [float(rate) for rate in self.failure_rates],
             "runs_per_cell": self.runs_per_cell,
@@ -178,6 +210,10 @@ class SweepSpec:
             "change_time": self.change_time,
             "deadline": self.deadline,
         }
+        token = self.scenario_token
+        if token != "table4":
+            grid["scenario"] = token
+        return grid
 
     @property
     def total_runs(self) -> int:

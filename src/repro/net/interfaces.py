@@ -26,28 +26,70 @@ class InterfaceCounters:
 
 
 class NetworkInterface:
-    """Transmitter/receiver pair with independent up/down state."""
+    """Transmitter/receiver pair with independent up/down state.
+
+    Outages nest: each direction carries a *fail depth* — :meth:`fail`
+    increments it, :meth:`restore` decrements it, and the direction is up iff
+    its depth is zero.  Two overlapping outages on the same node therefore
+    keep the direction down until the *last* one ends (a plain boolean would
+    restore it the moment the first outage ended).  ``tx_up``/``rx_up``
+    remain plain attributes, kept in sync by fail/restore, so the per-message
+    delivery path still reads a single attribute.
+    """
 
     def __init__(self, address: Address) -> None:
         self.address = address
         self.tx_up = True
         self.rx_up = True
+        self._tx_depth = 0
+        self._rx_depth = 0
         self.counters = InterfaceCounters()
 
     # ------------------------------------------------------------------ control
     def fail(self, tx: bool = False, rx: bool = False) -> None:
-        """Bring down the transmitter and/or receiver."""
+        """Bring down the transmitter and/or receiver (one nesting level)."""
         if tx:
+            self._tx_depth += 1
             self.tx_up = False
         if rx:
+            self._rx_depth += 1
             self.rx_up = False
 
     def restore(self, tx: bool = False, rx: bool = False) -> None:
-        """Bring the transmitter and/or receiver back up."""
-        if tx:
-            self.tx_up = True
-        if rx:
-            self.rx_up = True
+        """Undo one :meth:`fail` of the transmitter and/or receiver.
+
+        A direction comes back up only when every overlapping outage that
+        failed it has been restored.  Unmatched restores are clamped at depth
+        zero (an already-up direction stays up).
+        """
+        if tx and self._tx_depth > 0:
+            self._tx_depth -= 1
+            self.tx_up = self._tx_depth == 0
+        if rx and self._rx_depth > 0:
+            self._rx_depth -= 1
+            self.rx_up = self._rx_depth == 0
+
+    def reset(self) -> None:
+        """Forget all outage state (both directions up, depths zero).
+
+        Used when a churned node rejoins the network: the rejoining node
+        comes back with a fresh radio, regardless of outages that applied —
+        or were skipped — while it was away.
+        """
+        self._tx_depth = 0
+        self._rx_depth = 0
+        self.tx_up = True
+        self.rx_up = True
+
+    @property
+    def tx_fail_depth(self) -> int:
+        """Number of unrestored outages currently failing the transmitter."""
+        return self._tx_depth
+
+    @property
+    def rx_fail_depth(self) -> int:
+        """Number of unrestored outages currently failing the receiver."""
+        return self._rx_depth
 
     @property
     def node_down(self) -> bool:

@@ -60,6 +60,18 @@ class Network:
         delay_stream = rng.stream("network", "delay")
         self._uniform = delay_stream.uniform
         self._rand = delay_stream.random
+        # Lossy-link state (scenario library).  ``_loss_p`` is the combined
+        # drop probability of the active loss windows; the delivery paths pay
+        # one falsy check while it is zero.  The dedicated ``network/loss``
+        # RNG stream is created lazily on the first window, so runs without
+        # loss windows draw exactly the same random sequence as before the
+        # feature existed.
+        self._rng = rng
+        self._loss_stack: List[float] = []
+        self._loss_p = 0.0
+        self._loss_rand: Optional[Callable[[], float]] = None
+        #: Deliveries dropped on the wire by loss windows (telemetry).
+        self.link_losses = 0
 
     # ------------------------------------------------------------------ membership
     def join(self, endpoint: Endpoint) -> Endpoint:
@@ -89,6 +101,41 @@ class Network:
     def endpoints(self) -> Iterable[Endpoint]:
         """All registered endpoints, in join order (telemetry aggregation)."""
         return self._endpoints.values()
+
+    # ------------------------------------------------------------------ lossy links
+    def push_loss(self, drop_probability: float) -> None:
+        """Open a loss window: deliveries drop with ``drop_probability``.
+
+        Windows nest; concurrent windows compose as independent drop chances
+        (a delivery survives only when it survives every active window).
+        """
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError(f"drop probability must be in [0, 1], got {drop_probability!r}")
+        self._loss_stack.append(drop_probability)
+        self._recompute_loss()
+
+    def pop_loss(self, drop_probability: float) -> None:
+        """Close one loss window previously opened with :meth:`push_loss`."""
+        try:
+            # Remove the most recent matching window (windows may share p).
+            index = len(self._loss_stack) - 1 - self._loss_stack[::-1].index(drop_probability)
+        except ValueError:
+            raise ValueError(f"no active loss window with p={drop_probability!r}") from None
+        del self._loss_stack[index]
+        self._recompute_loss()
+
+    def _recompute_loss(self) -> None:
+        survive = 1.0
+        for p in self._loss_stack:
+            survive *= 1.0 - p
+        self._loss_p = 1.0 - survive
+        if self._loss_p and self._loss_rand is None:
+            self._loss_rand = self._rng.stream("network", "loss").random
+
+    @property
+    def loss_probability(self) -> float:
+        """Combined drop probability of the currently active loss windows."""
+        return self._loss_p
 
     # ------------------------------------------------------------------ helpers
     def transmission_delay(self) -> float:
@@ -120,7 +167,11 @@ class Network:
         """
         sender_ep = self._endpoints.get(message.sender)
         if sender_ep is None:
-            raise KeyError(f"unknown sender {message.sender!r}")
+            # Sender departed (churn): its radio is gone, nothing is emitted.
+            # In-flight transport machinery (e.g. a TCP handshake scheduled
+            # before the node left) sees an ordinary send failure and runs
+            # its normal retry/REX response.
+            return False
         receiver_ep = self._endpoints.get(message.receiver)
 
         if not sender_ep.interface.can_send():
@@ -138,6 +189,12 @@ class Network:
 
         if receiver_ep is None:
             # Destination unknown / departed: message is lost on the wire.
+            return True
+
+        if self._loss_p and self._loss_rand() < self._loss_p:
+            # Lost on the wire inside an active loss window: the send was
+            # spent (recorded above) but nothing arrives.
+            self.link_losses += 1
             return True
 
         config = self.config
@@ -202,7 +259,8 @@ class Network:
             raise ValueError("multicast message must be addressed to MULTICAST_GROUP")
         sender_ep = self._endpoints.get(message.sender)
         if sender_ep is None:
-            raise KeyError(f"unknown sender {message.sender!r}")
+            # Sender departed (churn): see transmit_unicast.
+            return False
 
         # ``recorded`` is shared by all copies so that one logical multicast
         # is recorded at most once — by the first copy that actually leaves
@@ -222,6 +280,10 @@ class Network:
         state: Dict[str, bool],
         copies: int,
     ) -> bool:
+        if self._endpoints.get(message.sender) is not sender_ep:
+            # The sender departed between redundant copies (churn): the
+            # remaining copies die with its radio.
+            return False
         if not sender_ep.interface.can_send():
             sender_ep.interface.counters.dropped_tx += 1
             return False
@@ -241,10 +303,21 @@ class Network:
         delay_span = config.max_delay - min_delay
         post = self.sim.post
         sender = message.sender
-        for address, endpoint in self._endpoints.items():
-            if address == sender:
-                continue
-            post(min_delay + delay_span * rand(), endpoint.deliver, message)
+        loss_p = self._loss_p
+        if loss_p:
+            loss_rand = self._loss_rand
+            for address, endpoint in self._endpoints.items():
+                if address == sender:
+                    continue
+                if loss_rand() < loss_p:
+                    self.link_losses += 1
+                    continue
+                post(min_delay + delay_span * rand(), endpoint.deliver, message)
+        else:
+            for address, endpoint in self._endpoints.items():
+                if address == sender:
+                    continue
+                post(min_delay + delay_span * rand(), endpoint.deliver, message)
         return True
 
     # ------------------------------------------------------------------ queries

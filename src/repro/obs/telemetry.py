@@ -46,26 +46,50 @@ Field glossary (see also EXPERIMENTS.md, "Observability")
 ``net.dropped_tx`` / ``net.dropped_rx``
     Transmission attempts suppressed by a downed transmitter / deliveries
     suppressed by a downed receiver, summed over all interfaces.
+``net.link_losses``
+    Deliveries dropped on the wire by scenario loss windows (zero outside
+    lossy-link scenarios).
+``failures`` (present when the run had a failure injector)
+    Realized disruption accounting from
+    :meth:`~repro.net.failures.FailureInjector.failure_telemetry`:
+    ``n_outages``/``n_churn``/``n_loss_windows`` (plan sizes),
+    ``skipped_ops`` (outage/churn operations skipped because their target
+    had departed), ``departed``/``rejoined`` (churned node ids),
+    ``realized_downtime`` (per-node seconds some failed direction was down
+    *inside* the run — overlaps merged, windows clamped to the deadline),
+    ``realized_fraction_mean`` (mean realized downtime over the failed
+    nodes as a fraction of the deadline; the honest counterpart of the
+    nominal failure rate), and ``last_outage_end``/``last_loss_end``/
+    ``last_churn_end`` (clamped end of the latest outage window, loss
+    window, and churn rejoin — together the start of the disruption-free
+    recovery tail).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 if TYPE_CHECKING:  # imported for annotations only
+    from repro.net.failures import FailureInjector
     from repro.net.network import Network
     from repro.sim.engine import Simulator
 
 #: Version of the RunTelemetry dict layout (bumped on incompatible changes).
-TELEMETRY_SCHEMA_VERSION = 1
+TELEMETRY_SCHEMA_VERSION = 2
 
 
-def collect_run_telemetry(sim: "Simulator", network: "Network") -> Dict[str, Any]:
+def collect_run_telemetry(
+    sim: "Simulator",
+    network: "Network",
+    injector: Optional["FailureInjector"] = None,
+) -> Dict[str, Any]:
     """Assemble the RunTelemetry dict from the engine and network counters.
 
     Called once per run after the simulation finished; reading the counters
     costs nothing on the hot path.  All values are plain ints/dicts (JSON
-    native) and deterministic for a given spec + seed.
+    native) and deterministic for a given spec + seed.  When ``injector``
+    is given, its realized-disruption accounting is attached under
+    ``failures``.
     """
     queue = sim._queue
     timers = sim.timers
@@ -76,7 +100,7 @@ def collect_run_telemetry(sim: "Simulator", network: "Network") -> Dict[str, Any
         delivered += counters.received
         dropped_tx += counters.dropped_tx
         dropped_rx += counters.dropped_rx
-    return {
+    telemetry: Dict[str, Any] = {
         "version": TELEMETRY_SCHEMA_VERSION,
         "engine": {
             "events_scheduled": queue._next_seq,
@@ -100,5 +124,9 @@ def collect_run_telemetry(sim: "Simulator", network: "Network") -> Dict[str, Any
             "delivered": delivered,
             "dropped_tx": dropped_tx,
             "dropped_rx": dropped_rx,
+            "link_losses": network.link_losses,
         },
     }
+    if injector is not None:
+        telemetry["failures"] = injector.failure_telemetry()
+    return telemetry

@@ -41,6 +41,20 @@ class Process:
         self._owned_handles.clear()
         self.on_stop()
 
+    def restart(self) -> None:
+        """Start the process again after :meth:`stop` (churn rejoin).
+
+        Clears the stopped flag and re-runs :meth:`on_start`, so a protocol
+        node bootstraps from scratch — re-announcing, re-registering and
+        re-arming its timers.  A process that is already running is left
+        alone.
+        """
+        if self.started and not self.stopped:
+            return
+        self.stopped = False
+        self.started = True
+        self.on_start()
+
     def on_start(self) -> None:  # pragma: no cover - default no-op
         """Hook invoked by :meth:`start`."""
 

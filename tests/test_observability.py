@@ -27,6 +27,7 @@ from repro.obs.analyze import (
     summarize,
 )
 from repro.obs.progress import SweepProgress, _format_eta
+from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION
 from repro.obs.sinks import (
     MemorySink,
     NDJSONSink,
@@ -198,7 +199,7 @@ def test_run_telemetry_is_deterministic_and_consistent():
     result = runner.execute(context)
     telemetry = result.details["telemetry"]
 
-    assert telemetry["version"] == 1
+    assert telemetry["version"] == TELEMETRY_SCHEMA_VERSION
     engine = telemetry["engine"]
     assert engine["events_fired"] == result.details["executed_events"]
     assert engine["events_scheduled"] >= engine["events_fired"]

@@ -1,0 +1,359 @@
+"""The scenario library: registry, CLI tokens, cell keys, conformance.
+
+Three contracts pinned here:
+
+* **Byte identity** — the default ``table4`` sweep reproduces the pre-scenario
+  harness output exactly (fixtures captured before the scenario layer
+  existed), serially and under ``--jobs 2``.
+* **Determinism** — every family's runs depend only on the spec (identical
+  results across re-runs and executors).
+* **Conformance** — each family's invariants hold on a smoke cell of every
+  registered system (the battery CI runs).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    SCENARIOS,
+    CheckpointMismatchError,
+    ScenarioFamily,
+    ScenarioRegistry,
+    ScenarioSpec,
+    SweepSpec,
+    UnknownScenarioError,
+    cell_key,
+    load_checkpoint,
+    parse_scenario,
+    save_checkpoint,
+    scenario_token,
+    sweep,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.sweep import CHECKPOINT_VERSION
+from repro.net.failures import DisruptionPlan
+from repro.protocols.registry import SYSTEMS
+from repro.__main__ import main
+
+FIXTURE_DIR = "tests/data"
+#: The grid both pre-PR fixtures were captured with (seed 0, runs 2).
+FIXTURE_ARGS = ["--system", "frodo3,upnp,jini2", "--rates", "0,20,40", "--runs", "2"]
+
+
+# --------------------------------------------------------------------------- registry
+def test_standard_families_are_registered():
+    assert SCENARIOS.names() == [
+        "cascade",
+        "churn",
+        "correlated",
+        "lossy",
+        "multichange",
+        "overlap",
+        "restart",
+        "table4",
+    ]
+    assert "churn" in SCENARIOS
+    assert len(SCENARIOS) == 8
+    assert all(isinstance(family, ScenarioFamily) for family in SCENARIOS)
+
+
+def test_unknown_scenario_error_names_the_alternatives():
+    with pytest.raises(UnknownScenarioError) as excinfo:
+        SCENARIOS.get("bogus")
+    message = str(excinfo.value)
+    assert "bogus" in message and "table4" in message and "churn" in message
+
+
+def test_register_rejects_duplicates_unless_replace():
+    registry = ScenarioRegistry()
+    family = ScenarioFamily(name="x", builder=lambda *a: DisruptionPlan())
+    registry.register(family)
+    with pytest.raises(ValueError):
+        registry.register(family)
+    registry.register(family, replace=True)
+    registry.unregister("x")
+    assert "x" not in registry
+
+
+def test_validate_options_rejects_unknown_and_mistyped():
+    churn = SCENARIOS.get("churn")
+    assert churn.validate_options({}) == {"rate": 0.1, "gap": 600.0}
+    assert churn.validate_options({"rate": 0.3})["rate"] == 0.3
+    with pytest.raises(ValueError, match="does not accept"):
+        churn.validate_options({"rte": 0.3})
+    with pytest.raises(ValueError, match="must be a number"):
+        churn.validate_options({"rate": "fast"})
+    with pytest.raises(ValueError, match="must be a number"):
+        churn.validate_options({"rate": True})
+
+
+# --------------------------------------------------------------------------- CLI tokens
+def test_parse_scenario_round_trips_through_token():
+    name, options = parse_scenario("churn@rate=0.1,gap=600")
+    assert name == "churn"
+    assert options == {"rate": 0.1, "gap": 600}
+    token = scenario_token(name, options)
+    assert parse_scenario(token) == (name, options)
+
+
+def test_scenario_token_is_canonical():
+    assert scenario_token("table4", {}) == "table4"
+    # Sorted keys: option order never changes the token (or the cell key).
+    assert scenario_token("churn", {"gap": 600.0, "rate": 0.1}) == scenario_token(
+        "churn", {"rate": 0.1, "gap": 600.0}
+    )
+    assert scenario_token("lossy", {"p": 0.2}) == "lossy@p=0.2"
+    assert scenario_token("x", {"flag": True}) == "x@flag=true"
+
+
+def test_parse_scenario_error_cases():
+    with pytest.raises(ValueError, match="no name"):
+        parse_scenario("")
+    with pytest.raises(ValueError, match="dangling"):
+        parse_scenario("churn@")
+    with pytest.raises(ValueError, match="key=value"):
+        parse_scenario("churn@rate")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_scenario("churn@rate=0.1,rate=0.2")
+
+
+def test_spec_validation_resolves_the_scenario():
+    ScenarioSpec(system="frodo3", scenario="churn").validate()
+    with pytest.raises(UnknownScenarioError):
+        ScenarioSpec(system="frodo3", scenario="bogus").validate()
+    with pytest.raises(ValueError, match="does not accept"):
+        ScenarioSpec(
+            system="frodo3", scenario="churn", scenario_options={"x": 1}
+        ).validate()
+
+
+# --------------------------------------------------------------------------- cell keys
+def test_table4_cell_keys_keep_the_bare_v2_shape():
+    assert cell_key("frodo3", 0.2, 1) == "frodo3~5u@0.2#1"
+    assert cell_key("frodo3", 0.2, 1, scenario="table4") == "frodo3~5u@0.2#1"
+
+
+def test_non_default_scenarios_extend_the_cell_key():
+    churn_key = cell_key("frodo3", 0.2, 1, scenario="churn@rate=0.1")
+    assert churn_key == "frodo3~5u@0.2#1!churn@rate=0.1"
+    keys = {
+        cell_key("frodo3", 0.2, 1, scenario=token)
+        for token in ("table4", "churn", "churn@rate=0.1", "lossy")
+    }
+    assert len(keys) == 4  # scenarios can never collide in a journal
+
+
+def test_sweep_cells_carry_the_scenario_token():
+    spec = SweepSpec(
+        systems=("frodo3",),
+        failure_rates=(0.2,),
+        runs_per_cell=1,
+        scenario_name="churn",
+        scenario_options={"rate": 0.2},
+    )
+    (cell,) = spec.expand()
+    assert cell.key.endswith("!churn@rate=0.2")
+    assert cell.scenario.scenario == "churn"
+    assert cell.scenario.scenario_options == {"rate": 0.2}
+    assert spec.grid_dict()["scenario"] == "churn@rate=0.2"
+    # ... while the default keeps the pre-scenario grid dict exactly.
+    assert "scenario" not in SweepSpec(systems=("frodo3",)).grid_dict()
+
+
+# --------------------------------------------------------------------------- checkpoints
+def test_pre_scenario_checkpoints_fail_loudly(tmp_path):
+    spec = SweepSpec(systems=("frodo3",), failure_rates=(0.0,), runs_per_cell=1)
+    ck = tmp_path / "old.jsonl"
+    header = {"version": 2, "spec": spec.grid_dict(), "builder_options": {}, "registry": []}
+    ck.write_text(json.dumps(header) + "\n")
+    with pytest.raises(ValueError, match="version 2"):
+        load_checkpoint(str(ck), spec)
+
+
+def test_checkpoints_from_different_scenarios_do_not_mix(tmp_path):
+    table4 = SweepSpec(systems=("frodo3",), failure_rates=(0.0,), runs_per_cell=1)
+    churn = SweepSpec(
+        systems=("frodo3",),
+        failure_rates=(0.0,),
+        runs_per_cell=1,
+        scenario_name="churn",
+    )
+    ck = tmp_path / "ck.jsonl"
+    save_checkpoint(str(ck), churn, {})
+    with pytest.raises(CheckpointMismatchError):
+        load_checkpoint(str(ck), table4)
+    assert load_checkpoint(str(ck), churn) == {}
+
+
+# --------------------------------------------------------------------------- byte identity
+def _strip_scenario_telemetry(data):
+    """Remove the fields the scenario layer added to per-run telemetry.
+
+    The simulation itself must be untouched by the scenario layer; only the
+    *reporting* grew (schema version 2: a ``failures`` section and the
+    ``net.link_losses`` counter).  Everything else must match the pre-PR
+    fixture exactly.
+    """
+    for run in data["runs"]:
+        telemetry = run["details"]["telemetry"]
+        assert telemetry["version"] == 2
+        telemetry["version"] = 1
+        telemetry.pop("failures", None)
+        assert telemetry["net"].pop("link_losses") == 0  # table4 has no loss windows
+    return data
+
+
+def test_default_sweep_is_byte_identical_to_pre_scenario_fixture(tmp_path):
+    serial = tmp_path / "serial.json"
+    jobs2 = tmp_path / "jobs2.json"
+    explicit = tmp_path / "explicit.json"
+    assert main(["sweep", *FIXTURE_ARGS, "--out", str(serial)]) == 0
+    assert main(["sweep", *FIXTURE_ARGS, "--jobs", "2", "--out", str(jobs2)]) == 0
+    assert main(["sweep", *FIXTURE_ARGS, "--scenario", "table4", "--out", str(explicit)]) == 0
+    fixture = open(f"{FIXTURE_DIR}/table4_pre_pr_sweep.json", "rb").read()
+    assert serial.read_bytes() == fixture
+    assert jobs2.read_bytes() == fixture
+    assert explicit.read_bytes() == fixture
+
+
+def test_default_per_run_output_matches_fixture_modulo_telemetry_schema(tmp_path):
+    out = tmp_path / "per_run.json"
+    assert main(["sweep", *FIXTURE_ARGS, "--per-run", "--out", str(out)]) == 0
+    produced = _strip_scenario_telemetry(json.loads(out.read_text()))
+    fixture = json.loads(open(f"{FIXTURE_DIR}/table4_pre_pr_per_run.json").read())
+    assert produced == fixture
+
+
+# --------------------------------------------------------------------------- determinism
+def test_churn_sweep_is_deterministic_across_reruns_and_executors(tmp_path):
+    argv = [
+        "sweep",
+        "--system",
+        "frodo3,jini2",
+        "--rates",
+        "0,20",
+        "--runs",
+        "2",
+        "--scenario",
+        "churn@rate=0.2",
+        "--per-run",
+    ]
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    parallel = tmp_path / "parallel.json"
+    assert main([*argv, "--out", str(first)]) == 0
+    assert main([*argv, "--out", str(second)]) == 0
+    assert main([*argv, "--jobs", "2", "--out", str(parallel)]) == 0
+    assert first.read_bytes() == second.read_bytes() == parallel.read_bytes()
+    data = json.loads(first.read_text())
+    assert data["spec"]["scenario"] == "churn@rate=0.2"
+    churned = [
+        run["details"]["telemetry"]["failures"]["departed"] for run in data["runs"]
+    ]
+    assert any(churned)  # the scenario actually did something
+
+
+def test_families_share_table4_baseline_outages_at_equal_seeds():
+    """Families layered on the paper's outage plan (churn, lossy, multichange)
+    draw it from the same ``failures`` stream: per-node outage schedules match
+    table4 exactly at equal seeds — paired comparisons across scenarios."""
+    results = {}
+    for scenario in ("table4", "lossy", "multichange"):
+        spec = ScenarioSpec(
+            system="frodo3", failure_rate=0.4, seed=11, scenario=scenario
+        )
+        run = run_scenario(spec)
+        results[scenario] = run.details["telemetry"]["failures"]["realized_downtime"]
+    assert results["table4"] == results["lossy"] == results["multichange"]
+
+
+# --------------------------------------------------------------------------- conformance
+SMOKE_RATE = 0.2
+
+
+@pytest.mark.parametrize("system", SYSTEMS.names())
+@pytest.mark.parametrize("family_name", SCENARIOS.names())
+def test_conformance_battery(family_name, system):
+    """Every family x system smoke cell satisfies the family's invariants
+    (and the shared recovery invariant)."""
+    family = SCENARIOS.get(family_name)
+    spec = ScenarioSpec(
+        system=system, failure_rate=SMOKE_RATE, seed=3, scenario=family_name
+    ).validate()
+    result = run_scenario(spec)
+    assert family.check(spec, result) == []
+
+
+def test_conformance_check_catches_violations():
+    """The battery is not vacuous: feed a family a result produced by a
+    different family and its invariants must trip."""
+    spec = ScenarioSpec(
+        system="frodo3", failure_rate=SMOKE_RATE, seed=3, scenario="churn",
+        scenario_options={"rate": 0.4},
+    )
+    churned = run_scenario(spec)
+    assert SCENARIOS.get("table4").check(spec, churned)  # churn events present
+    table4 = run_scenario(
+        ScenarioSpec(system="frodo3", failure_rate=SMOKE_RATE, seed=3)
+    )
+    lossy_spec = ScenarioSpec(
+        system="frodo3", failure_rate=SMOKE_RATE, seed=3, scenario="lossy"
+    )
+    assert SCENARIOS.get("lossy").check(lossy_spec, table4)  # no loss windows
+
+
+def test_multichange_versions_and_change_time():
+    spec = ScenarioSpec(
+        system="frodo3",
+        failure_rate=0.0,
+        seed=5,
+        scenario="multichange",
+        scenario_options={"changes": 4, "spacing": 300.0},
+    )
+    result = run_scenario(spec)
+    assert result.details["changed_version"] == 5  # initial 1 + 4 changes
+    assert result.change_time == spec.change_time + 3 * 300.0
+    assert SCENARIOS.get("multichange").check(spec, result) == []
+
+
+def test_restart_rediscovery_recovers_full_effectiveness():
+    """The flash-crowd case the issue calls out: a Registry restart must not
+    leave stale state — everyone is consistent again by the deadline."""
+    for system in ("jini2", "upnp", "frodo3"):
+        spec = ScenarioSpec(system=system, failure_rate=0.0, seed=9, scenario="restart")
+        result = run_scenario(spec)
+        assert result.users_updated() == result.n_users
+        failures = result.details["telemetry"]["failures"]
+        assert failures["n_churn"] >= 1
+        assert failures["departed"] == failures["rejoined"]
+
+
+# --------------------------------------------------------------------------- CLI surface
+def test_cli_lists_scenarios():
+    assert main(["scenarios"]) == 0
+
+
+def test_cli_rejects_unknown_scenario(capsys):
+    assert main(["run", "--system", "frodo3", "--scenario", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario 'bogus'" in err and "table4" in err
+
+
+def test_cli_rejects_malformed_scenario_token(capsys):
+    assert main(["run", "--system", "frodo3", "--scenario", "churn@rate"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_sweep_accepts_scenario_in_library_api():
+    spec = SweepSpec(
+        systems=("frodo3",),
+        failure_rates=(0.0,),
+        runs_per_cell=1,
+        base_seed=2,
+        scenario_name="multichange",
+        scenario_options={"changes": 2},
+    )
+    result = sweep(spec)
+    assert result.summaries[0].effectiveness == 1.0
+    assert CHECKPOINT_VERSION == 3

@@ -21,6 +21,7 @@ from repro.experiments import (
     sweep,
 )
 from repro.experiments.report import sweep_to_dict, to_json
+from repro.experiments.sweep import CHECKPOINT_VERSION
 from repro.protocols.registry import DeploymentRegistry
 from repro.__main__ import main
 
@@ -52,7 +53,7 @@ def test_fresh_sweep_creates_checkpoint_with_every_cell(tmp_path):
     sweep(SPEC, checkpoint=str(ck))
     lines = _journal_lines(ck)
     header = json.loads(lines[0])
-    assert header["version"] == 2
+    assert header["version"] == CHECKPOINT_VERSION
     assert header["spec"] == SPEC.grid_dict()
     assert len(lines) - 1 == SPEC.total_runs
 
