@@ -68,6 +68,7 @@ from repro.experiments.scenario import (
     ScenarioSpec,
 )
 from repro.experiments.scenarios import SCENARIOS, UnknownScenarioError, parse_scenario
+from repro.experiments.tokens import format_option_value, split_token_list
 from repro.experiments.sweep import SweepSpec, sweep
 from repro.obs.analyze import (
     format_kinds,
@@ -161,8 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         required=True,
         help=(
-            "system to deploy; repeatable and/or comma-separated, "
-            "e.g. --system frodo3 --system upnp,jini1"
+            "system to deploy; repeatable and/or comma-separated, bare name "
+            "or name@key=value,... token, e.g. --system frodo3 "
+            "--system upnp,jini@k=8,mode=gossip (see 'systems')"
         ),
     )
     sweep_parser.add_argument(
@@ -361,8 +363,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _split_systems(values: Sequence[str]) -> List[str]:
-    """Flatten repeated and comma-separated ``--system`` values."""
-    return [name.strip() for value in values for name in value.split(",") if name.strip()]
+    """Flatten repeated/comma-separated ``--system`` values into canonical tokens.
+
+    Values may be bare names or parameterised ``name@k=v,...`` tokens; a
+    comma-separated segment containing ``=`` belongs to the preceding
+    token's option list (``--system upnp,jini@k=8,mode=gossip,frodo3``),
+    anything else starts a new selection.  Each selection is resolved
+    against the registry here so bad names/options fail before any cycles
+    are spent, and canonicalised so equal selections share cell keys.
+    """
+    tokens = [token for value in values for token in split_token_list(value)]
+    return [SYSTEMS.resolve(token).token for token in tokens]
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
@@ -397,7 +408,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
 def _command_run(args: argparse.Namespace) -> int:
     scenario_name, scenario_options = parse_scenario(args.scenario)
     spec = ScenarioSpec(
-        system=args.system,
+        system=SYSTEMS.resolve(args.system).token,
         failure_rate=args.rate,
         seed=args.seed,
         n_users=args.users,
@@ -433,7 +444,7 @@ def _command_trace(args: argparse.Namespace) -> int:
 def _command_profile(args: argparse.Namespace) -> int:
     scenario_name, scenario_options = parse_scenario(args.scenario)
     spec = ScenarioSpec(
-        system=args.system,
+        system=SYSTEMS.resolve(args.system).token,
         failure_rate=args.rate,
         seed=args.seed,
         n_users=args.users,
@@ -484,7 +495,16 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 def _command_systems() -> int:
     for entry in sorted(SYSTEMS, key=lambda e: e.name):
-        line = f"{entry.name:<10} m'={entry.m_prime}"
+        form = entry.m_prime_form or str(entry.m_prime_at(5))
+        line = f"{entry.name:<10} m'={form}"
+        if entry.frozen and entry.alias_of:
+            line += f"  [= {entry.alias_of}]"
+        elif entry.params:
+            options = ",".join(
+                f"{key}={format_option_value(value)}"
+                for key, value in sorted(entry.params.items())
+            )
+            line += f"  [{options}]"
         if entry.description:
             line += f"  {entry.description}"
         print(line)

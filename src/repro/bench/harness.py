@@ -38,8 +38,11 @@ from repro.experiments.sweep import sweep
 
 #: Format version of BENCH_sweep.json (bumped on incompatible changes).
 #: Schema 2 adds per-workload ``users`` (the topology sizes a workload
-#: covers) for the large-N scale workloads.
-BENCH_SCHEMA_VERSION = 2
+#: covers) for the large-N scale workloads.  Schema 3 tracks the
+#: parameterized-system registry: the ``jini`` family joins the per-system
+#: and cross-system grids (``grid:6-system``) and ``federation:jini@k=...``
+#: workloads time the federated topologies at K in {2, 4, 8}.
+BENCH_SCHEMA_VERSION = 3
 
 #: Default fractional serial-throughput drop that fails the regression gate.
 DEFAULT_REGRESSION_TOLERANCE = 0.20

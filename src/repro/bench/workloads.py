@@ -17,7 +17,11 @@ standard catalogue covers
 * ``scenario:<name>`` — one small grid per non-default disruption-scenario
   family (churn, cascade, lossy, ...), so the cost of the scenario layer's
   extra events (leave/rejoin, loss windows, extra changes) is attributable
-  per family.
+  per family, and
+* ``federation:jini@k=<K>`` — the federated-registry topologies at
+  K in {2, 4, 8} (push replication plus one gossip grid), timing the
+  inter-registry layer (K lookup services, adjacency fan-out, anti-entropy
+  rounds) rather than the single-registry protocols.
 
 ``quick=True`` shrinks replication counts, the rate grid and the largest
 topology sizes for CI; the cell *shape* (which systems, which kind of grid)
@@ -96,7 +100,36 @@ def standard_workloads(
     )
     workloads.extend(_scale_workloads(quick, names))
     workloads.extend(_scenario_workloads(quick))
+    workloads.extend(_federation_workloads(quick))
     return workloads
+
+
+def _federation_workloads(quick: bool) -> List[BenchWorkload]:
+    """Federated-registry workloads: ``federation:jini@k={2,4,8}``.
+
+    Small grids over the canonical system tokens — the point is timing the
+    inter-registry layer as K grows (push fan-out at every K, plus one
+    partitioned-gossip grid at K=4), not re-timing single-registry Jini.
+    Identical in quick and full variants; they are already CI-sized.
+    """
+    tokens = (
+        "jini@k=2",
+        "jini@k=4",
+        "jini@k=8",
+        "jini@assign=partition,k=4,mode=gossip,topology=ring",
+    )
+    return [
+        BenchWorkload(
+            name=f"federation:{token}",
+            spec=SweepSpec(
+                systems=(token,),
+                failure_rates=(0.0, 0.2),
+                runs_per_cell=QUICK_RUNS,
+                base_seed=BENCH_BASE_SEED,
+            ),
+        )
+        for token in tokens
+    ]
 
 
 def _scenario_workloads(quick: bool) -> List[BenchWorkload]:

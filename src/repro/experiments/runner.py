@@ -164,6 +164,20 @@ class ExperimentRunner:
                 "the deployment's trigger_service_change hook is broken"
             )
         stats = context.deployment.collect_run_stats(change_time)
+        details = {
+            "m_prime": context.deployment.m_prime,
+            "n_outages": len(context.injector.plan),
+            "executed_events": context.sim.executed_events,
+            "changed_version": changed_version,
+            "update_counts_by_kind": stats.update_counts_by_kind,
+            # RunTelemetry: deterministic engine/network counters (see
+            # repro.obs.telemetry for the field glossary).  Persisted
+            # with the run through checkpoints and --per-run output.
+            "telemetry": collect_run_telemetry(context.sim, context.network, context.injector),
+        }
+        # Deployment-specific additions (e.g. federation consistency
+        # metrics); the default hook contributes nothing.
+        details.update(context.deployment.extra_details(change_time))
         return RunResult(
             system=spec.system,
             failure_rate=spec.failure_rate,
@@ -176,19 +190,7 @@ class ExperimentRunner:
             update_message_count=stats.update_message_count,
             total_discovery_messages=stats.total_discovery_messages,
             transport_message_count=stats.transport_message_count,
-            details={
-                "m_prime": context.deployment.m_prime,
-                "n_outages": len(context.injector.plan),
-                "executed_events": context.sim.executed_events,
-                "changed_version": changed_version,
-                "update_counts_by_kind": stats.update_counts_by_kind,
-                # RunTelemetry: deterministic engine/network counters (see
-                # repro.obs.telemetry for the field glossary).  Persisted
-                # with the run through checkpoints and --per-run output.
-                "telemetry": collect_run_telemetry(
-                    context.sim, context.network, context.injector
-                ),
-            },
+            details=details,
         )
 
 

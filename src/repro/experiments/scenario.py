@@ -107,13 +107,19 @@ def cell_key(
     n_users: int = 5,
     scenario: str = "table4",
 ) -> str:
-    """Stable string identity of one sweep cell (v3: system x users x rate x replication x scenario).
+    """Stable string identity of one sweep cell (v4: system x users x rate x replication x scenario).
 
     Like :func:`run_seed` the key depends only on the cell coordinates, never
     on grid position.  (Checkpoint journals additionally pin the full grid:
     resume requires the identical sweep spec, not merely matching keys.)
     The rate uses ``repr`` (not a formatted percentage) so distinct floats can
     never collide.
+
+    ``system`` is the canonical *system token* (v4): a parameterised
+    selection like ``jini@k=8,mode=gossip`` carries its token verbatim, a
+    legacy bare name ("jini2") stays bare — so every pre-v4 key, seed and
+    trace file name is unchanged.  The CLI canonicalises tokens before they
+    reach the spec, so equal selections always produce equal keys.
 
     ``scenario`` is the canonical scenario token
     (:func:`~repro.experiments.scenarios.scenario_token`).  The default

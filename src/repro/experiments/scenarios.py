@@ -51,6 +51,7 @@ from repro.net.failures import (
     NodeChurn,
     build_interface_failure_plan,
 )
+from repro.experiments.tokens import canonical_token, parse_token
 from repro.protocols.base import ProtocolDeployment
 from repro.sim.rng import RngRegistry
 
@@ -190,45 +191,16 @@ SCENARIOS = ScenarioRegistry()
 
 
 # --------------------------------------------------------------------------- CLI tokens
-def _format_option_value(value: Any) -> str:
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, float):
-        return repr(value)
-    return str(value)
-
-
-def _parse_option_value(text: str) -> Any:
-    lowered = text.lower()
-    if lowered == "true":
-        return True
-    if lowered == "false":
-        return False
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
-    return text
-
-
 def scenario_token(name: str, options: Mapping[str, Any]) -> str:
     """Canonical ``name@key=value,...`` token of a scenario selection.
 
     Options are sorted by name and values formatted canonically (floats via
     ``repr``), so equal selections always produce equal tokens — the property
     cell keys and checkpoint identities rely on.  A selection without
-    options is just the bare name.
+    options is just the bare name.  (The grammar is shared with ``--system``
+    tokens; see :mod:`repro.experiments.tokens`.)
     """
-    if not options:
-        return name
-    parts = ",".join(
-        f"{key}={_format_option_value(options[key])}" for key in sorted(options)
-    )
-    return f"{name}@{parts}"
+    return canonical_token(name, options)
 
 
 def parse_scenario(text: str) -> Tuple[str, Dict[str, Any]]:
@@ -238,26 +210,7 @@ def parse_scenario(text: str) -> Tuple[str, Dict[str, Any]]:
     The name is *not* resolved against the registry here — callers validate
     via :meth:`ScenarioRegistry.get` so the error carries the known names.
     """
-    name, sep, option_text = text.partition("@")
-    name = name.strip()
-    if not name:
-        raise ValueError(f"scenario token {text!r} has no name")
-    options: Dict[str, Any] = {}
-    if sep:
-        if not option_text.strip():
-            raise ValueError(f"scenario token {text!r} has a dangling '@'")
-        for item in option_text.split(","):
-            key, eq, value = item.partition("=")
-            key = key.strip()
-            if not eq or not key or not value.strip():
-                raise ValueError(
-                    f"scenario option {item!r} must look like key=value "
-                    f"(in token {text!r})"
-                )
-            if key in options:
-                raise ValueError(f"duplicate scenario option {key!r} in token {text!r}")
-            options[key] = _parse_option_value(value.strip())
-    return name, options
+    return parse_token(text, label="scenario")
 
 
 # --------------------------------------------------------------------------- shared pieces

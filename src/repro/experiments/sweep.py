@@ -57,7 +57,12 @@ RunObserver = Callable[[RunResult], None]
 #: journal written by one scenario can never be resumed by another — and
 #: journals from the pre-scenario format fail loudly on this version check
 #: instead of silently colliding.
-CHECKPOINT_VERSION = 3
+#: Version 4: the system axis accepts parameterised ``name@k=v,...`` tokens
+#: (``jini@k=8,mode=gossip``); the canonical token is the cell key's system
+#: field, bare names stay bare (legacy keys are unchanged), and the registry
+#: fingerprint evaluates the closed-form m' at the reference N instead of
+#: recording an N=5 constant.
+CHECKPOINT_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -146,7 +151,9 @@ class SweepSpec:
             if n < 1:
                 raise ValueError(f"users grid sizes must be >= 1, got {n!r}")
         for system in self.systems:
-            registry.get(system)  # raises UnknownSystemError with the known names
+            # Raises UnknownSystemError / ValueError with the known names;
+            # accepts bare names and parameterised tokens alike.
+            registry.resolve(system)
         self.scenario(self.systems[0], self.failure_rates[0], 0).validate()
         return self
 
@@ -272,7 +279,12 @@ class CheckpointMismatchError(ValueError):
 
 
 def _registry_fingerprint(registry: DeploymentRegistry) -> List[List[Any]]:
-    return [[entry.name, entry.m_prime] for entry in sorted(registry, key=lambda e: e.name)]
+    # The closed-form m' evaluated at the reference N (5): equal to the old
+    # integer fingerprint for every legacy registry, so v4 journals only
+    # refuse resume when a system's closed form actually changed.
+    return [
+        [entry.name, entry.m_prime_at(5)] for entry in sorted(registry, key=lambda e: e.name)
+    ]
 
 
 def _checkpoint_header(spec: SweepSpec, registry: DeploymentRegistry) -> Dict[str, Any]:
@@ -521,11 +533,11 @@ def sweep(
     # order and of which cells were resumed from the checkpoint.
     runs = [completed[cell.key] for cell in cells]
     summaries: List[MetricSummary] = []
-    for offset, (system, _n, _rate) in enumerate(spec.cells()):
+    for offset, (system, n, _rate) in enumerate(spec.cells()):
         cell_runs = runs[offset * spec.runs_per_cell : (offset + 1) * spec.runs_per_cell]
-        # The deployment's own m' wins over the registry metadata: it scales
-        # with the topology (e.g. 3N for UPnP), so sweeps with --users != 5
-        # keep the zero-failure degradation at exactly 1.0.
-        m_prime = cell_runs[0].details.get("m_prime", registry.get(system).m_prime)
+        # The deployment's own m' wins over the registry metadata; the
+        # fallback evaluates the registry's closed form at the cell's actual
+        # topology size, so both agree at every N (not just at 5).
+        m_prime = cell_runs[0].details.get("m_prime", registry.resolve(system).m_prime(n))
         summaries.append(MetricSummary.from_runs(cell_runs, m_prime=int(m_prime)))
     return SweepResult(spec=spec, runs=runs, summaries=summaries)

@@ -119,6 +119,17 @@ class ProtocolDeployment:
             },
         )
 
+    def extra_details(self, change_time: float) -> Dict[str, object]:
+        """Deployment-specific additions to the per-run ``details`` dict.
+
+        Called by the runner after :meth:`collect_run_stats`; the returned
+        mapping is merged into :attr:`~repro.experiments.runner.RunResult.details`.
+        The default contributes nothing, so legacy output is unchanged —
+        federated deployments use this to report cross-registry consistency
+        metrics.
+        """
+        return {}
+
     def describe(self) -> str:
         """One-line summary of the topology."""
         return (

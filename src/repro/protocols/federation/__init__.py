@@ -1,0 +1,30 @@
+"""Federated registry topologies (K Lookup Services on a registry graph).
+
+The paper's two-registry Jini variant generalises here: K registries are
+connected by a topology (full mesh, star, ring, line), users are partitioned
+or multi-homed across them, and registrations/updates propagate
+inter-registry via a pluggable policy — eager push (the paper's replicated
+model), pull-on-miss with a cache TTL, or periodic gossip — with stale-entry
+fallback and cross-registry consistency metrics.
+
+``build_federation`` is the single constructor of the whole Jini family:
+the legacy ``jini1``/``jini2`` systems are frozen aliases of
+``jini@k=1``/``jini@k=2`` and the legacy ``build_jini`` delegates here.
+"""
+
+from repro.protocols.federation.builder import (
+    FEDERATION_PARAM_DEFAULTS,
+    FederatedJiniDeployment,
+    build_federation,
+)
+from repro.protocols.federation.monitor import FederationMonitor
+from repro.protocols.federation.topology import diameter, neighbor_indices
+
+__all__ = [
+    "FEDERATION_PARAM_DEFAULTS",
+    "FederatedJiniDeployment",
+    "FederationMonitor",
+    "build_federation",
+    "diameter",
+    "neighbor_indices",
+]

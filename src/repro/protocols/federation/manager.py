@@ -1,0 +1,48 @@
+"""The federated service provider.
+
+In push mode the Manager is *multi-homed*: it registers with every
+discovered registry and pushes its update to each of them itself — the
+paper's replicated model, where ``home`` stays ``None`` and this class is
+behaviourally identical to its base.
+
+In pull/gossip mode the Manager is *single-homed*: it registers with its
+home registry only and the federation propagates the update from there, so
+the provider ignores announcements from every other registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.node import Transports
+from repro.discovery.service import ServiceDescription
+from repro.net.addressing import Address
+from repro.net.network import Network
+from repro.protocols.jini.config import JiniConfig
+from repro.protocols.jini.manager import JiniServiceProvider
+from repro.sim.engine import Simulator
+
+
+class FederatedServiceProvider(JiniServiceProvider):
+    """A Jini service provider, optionally pinned to one home registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Address,
+        transports: Transports,
+        config: JiniConfig,
+        sd: ServiceDescription,
+        tracker: Optional[ConsistencyTracker] = None,
+        home: Optional[Address] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, transports, config, sd, tracker=tracker)
+        #: ``None`` = multi-homed (legacy push behaviour).
+        self.home = home
+
+    def _learn_registrar(self, addr: Address) -> None:
+        if self.home is not None and addr != self.home:
+            return
+        super()._learn_registrar(addr)

@@ -1,0 +1,43 @@
+"""Inter-registry message kinds of the federation layer.
+
+Federated Lookup Services speak the Jini protocol towards Managers and
+Users; between themselves they exchange four additional TCP kinds:
+
+* ``fed_pull`` / ``fed_pull_response`` — pull-on-miss: a registry whose
+  entry is missing or older than the cache TTL asks its topology neighbours
+  (plus the well-known home registry as fallback) for their current
+  entries; receivers answer from what they hold without recursing.
+* ``fed_gossip`` / ``fed_gossip_ack`` — periodic anti-entropy: a registry
+  sends its entries to one neighbour per tick (round-robin); the receiver
+  merges newer entries and replies with anything *it* holds that is newer.
+
+All four kinds count towards *y*: they are exactly the traffic an update
+needs to cross the federation, the federated analogue of the Manager's
+``service_update``.  The accounting declaration below *extends* the Jini
+set — legacy (push-mode) runs never send these kinds, so their counts are
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.protocols.accounting import register_update_related_kinds
+from repro.protocols.jini import messages as jm
+
+PROTOCOL = jm.PROTOCOL
+
+# ------------------------------------------------------------------ pull-on-miss (TCP)
+FED_PULL = "fed_pull"
+FED_PULL_RESPONSE = "fed_pull_response"
+
+# ------------------------------------------------------------------ periodic gossip (TCP)
+FED_GOSSIP = "fed_gossip"
+FED_GOSSIP_ACK = "fed_gossip_ack"
+
+#: The inter-registry kinds (all update-related).
+FEDERATION_KINDS: FrozenSet[str] = frozenset(
+    {FED_PULL, FED_PULL_RESPONSE, FED_GOSSIP, FED_GOSSIP_ACK}
+)
+
+register_update_related_kinds(PROTOCOL, jm.UPDATE_RELATED_KINDS | FEDERATION_KINDS)

@@ -1,0 +1,71 @@
+"""Registry-graph topologies.
+
+A federation of K registries is connected by one of four undirected graphs;
+propagation policies (pull, gossip) exchange messages along its edges only,
+so the topology bounds how fast an update can cross the federation.
+
+* ``mesh`` — complete graph; every registry peers with every other.
+* ``star`` — registry 1 is the hub; leaves peer only with it.
+* ``ring`` — registry i peers with i-1 and i+1 cyclically.
+* ``line`` — the ring with the wrap-around edge removed.
+
+Neighbour lists are returned in ascending index order, so iteration over
+peers is deterministic — a requirement for byte-identical sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: The supported registry-graph kinds.
+TOPOLOGIES: Tuple[str, ...] = ("mesh", "star", "ring", "line")
+
+
+def neighbor_indices(topology: str, k: int) -> List[List[int]]:
+    """Adjacency lists (0-based, ascending) of a K-registry graph.
+
+    ``k == 1`` yields a single registry with no peers for every topology;
+    ``k == 2`` makes all four topologies the same single edge.
+    """
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; known: {', '.join(TOPOLOGIES)}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return [[]]
+    if topology == "mesh":
+        return [[j for j in range(k) if j != i] for i in range(k)]
+    if topology == "star":
+        return [list(range(1, k))] + [[0] for _ in range(1, k)]
+    if topology == "ring":
+        if k == 2:
+            return [[1], [0]]
+        return [sorted({(i - 1) % k, (i + 1) % k}) for i in range(k)]
+    # line
+    return [[j for j in (i - 1, i + 1) if 0 <= j < k] for i in range(k)]
+
+
+def diameter(topology: str, k: int) -> int:
+    """Graph diameter in hops (0 for a single registry).
+
+    Used by the gossip-convergence invariant: an update needs at most
+    ``diameter`` inter-registry hops to reach every registry.
+    """
+    if topology not in TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; known: {', '.join(TOPOLOGIES)}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return 0
+    if topology == "mesh":
+        return 1
+    if topology == "star":
+        return 1 if k == 2 else 2
+    if topology == "ring":
+        return k // 2
+    return k - 1  # line
+
+
+def max_degree(topology: str, k: int) -> int:
+    """Largest neighbour count in the graph (gossip fan-out bound)."""
+    return max((len(peers) for peers in neighbor_indices(topology, k)), default=0)

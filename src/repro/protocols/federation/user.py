@@ -1,0 +1,49 @@
+"""The federated client.
+
+With ``assign=multi`` users are *multi-homed* (``home is None``): they hold
+an event registration at every known registry — the legacy redundancy model,
+behaviourally identical to the base client.
+
+With ``assign=partition`` each user is pinned to one home registry and
+ignores every other: its lookups, event registrations and renewals all go
+through its partition's registry, so an update only reaches it once the
+federation has propagated the change there — exactly the consistency cost
+the cross-registry metrics measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.consistency import ConsistencyTracker
+from repro.discovery.node import Transports
+from repro.discovery.service import ServiceQuery
+from repro.net.addressing import Address
+from repro.net.network import Network
+from repro.protocols.jini.config import JiniConfig
+from repro.protocols.jini.user import JiniClient
+from repro.sim.engine import Simulator
+
+
+class FederatedClient(JiniClient):
+    """A Jini client, optionally pinned to one home registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: Address,
+        transports: Transports,
+        config: JiniConfig,
+        query: ServiceQuery,
+        tracker: Optional[ConsistencyTracker] = None,
+        home: Optional[Address] = None,
+    ) -> None:
+        super().__init__(sim, network, node_id, transports, config, query, tracker=tracker)
+        #: ``None`` = multi-homed (legacy redundancy behaviour).
+        self.home = home
+
+    def _learn_registrar(self, addr: Address) -> None:
+        if self.home is not None and addr != self.home:
+            return
+        super()._learn_registrar(addr)

@@ -16,17 +16,11 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.consistency import ConsistencyTracker
-from repro.discovery.node import Transports
 from repro.discovery.service import ServiceDescription, ServiceQuery
-from repro.net.multicast import MulticastService
 from repro.net.network import Network
-from repro.net.tcp import TcpTransport
-from repro.net.udp import UdpTransport
 from repro.protocols.base import ProtocolDeployment
 from repro.protocols.jini.config import JiniConfig
 from repro.protocols.jini.manager import JiniServiceProvider
-from repro.protocols.jini.registrar import JiniLookupService
-from repro.protocols.jini.user import JiniClient
 from repro.sim.engine import Simulator
 
 #: Table 2: N + 2 update messages per Lookup Service (N = 5 Users).
@@ -84,53 +78,24 @@ def build_jini(
     n_users: int = 5,
     n_registries: int = 1,
 ) -> JiniDeployment:
-    """Instantiate a Jini topology with ``n_registries`` Lookup Services."""
+    """Instantiate a Jini topology with ``n_registries`` Lookup Services.
+
+    Deprecated construction path: the general constructor is
+    :func:`repro.protocols.federation.builder.build_federation`, of which
+    this is the eager-push special case (``jini@k=<n_registries>``).  Kept
+    for callers of the historical API; the federation-details block is
+    pinned off so per-run output matches the legacy builder exactly.
+    """
+    from repro.protocols.federation.builder import build_federation
+
     if n_registries < 1:
         raise ValueError("n_registries must be >= 1")
-    config = (config if config is not None else JiniConfig()).validate()
-    deployment = JiniDeployment(sim, network, tracker, config, n_registries)
-    deployment.m_prime = (n_users + 2) * n_registries
-
-    transports = Transports(
-        udp=UdpTransport(network),
-        tcp=TcpTransport(network),
-        multicast=MulticastService(network, redundancy=config.multicast_copies),
-    )
-
-    for index in range(n_registries):
-        registrar = JiniLookupService(
-            sim,
-            network,
-            f"jini-lus-{index + 1}",
-            transports,
-            config,
-            tracker=tracker,
-        )
-        deployment.registries.append(registrar)
-
-    manager_id = "jini-manager"
-    provider = JiniServiceProvider(
+    return build_federation(
         sim,
         network,
-        manager_id,
-        transports,
-        config,
-        sd=default_service(manager_id),
-        tracker=tracker,
+        tracker,
+        config=config,
+        n_users=n_users,
+        k=n_registries,
+        report=False,
     )
-    deployment.managers.append(provider)
-
-    for index in range(n_users):
-        client = JiniClient(
-            sim,
-            network,
-            f"jini-user-{index + 1}",
-            transports,
-            config,
-            query=default_query(),
-            tracker=tracker,
-        )
-        tracker.register_user(client.node_id)
-        deployment.users.append(client)
-
-    return deployment

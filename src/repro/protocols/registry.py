@@ -1,14 +1,28 @@
 """Pluggable registry of protocol deployments.
 
 Every modelled system is registered here under its name ("frodo2", "frodo3",
-later "upnp", "jini1", "jini2"); the experiment harness looks builders up by
-name instead of hard-coding protocol construction, so adding a new protocol
-is one ``SYSTEMS.register(...)`` call and no runner changes.
+"upnp", the parameterised "jini" family); the experiment harness looks
+builders up by name instead of hard-coding protocol construction, so adding
+a new protocol is one ``SYSTEMS.register(...)`` call and no runner changes.
 
 A *builder* is a callable ``(sim, network, tracker, **options) ->
 ProtocolDeployment``.  Options every builder must accept (with defaults):
 
 * ``n_users`` — number of measured Users in the topology (Table 4 uses 5).
+
+Systems can declare typed *parameters* (:attr:`SystemEntry.params`): the CLI
+selects them with ``name@key=value,...`` tokens — ``--system
+jini@k=8,mode=gossip`` — sharing the grammar of ``--scenario`` tokens
+(:mod:`repro.experiments.tokens`).  :meth:`DeploymentRegistry.resolve` turns
+a token into a :class:`ResolvedSystem` (entry + validated parameters +
+canonical token); bare legacy names resolve to themselves, so existing cell
+keys, seeds and sweep output are untouched.
+
+``m_prime`` is a *closed form*, not an N=5 constant: each entry carries a
+callable ``m_prime(n_users, **params) -> int`` (Table 2's per-system update
+message count), so registry metadata and deployment always agree at every
+topology size — the sweep aggregation asks the entry for m' at the cell's
+actual ``--users``.
 
 The module-level :data:`SYSTEMS` instance is the default registry used by
 :func:`build_system`, the sweep driver and the ``python -m repro`` CLI; tests
@@ -17,8 +31,8 @@ can construct private :class:`DeploymentRegistry` instances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.core.consistency import ConsistencyTracker
 from repro.net.network import Network
@@ -27,6 +41,13 @@ from repro.sim.engine import Simulator
 
 #: Signature of a deployment builder.
 DeploymentBuilder = Callable[..., ProtocolDeployment]
+
+#: Signature of a closed-form m' — ``(n_users, **params) -> int``.
+MPrimeForm = Callable[..., int]
+
+#: Reference topology size for registration-time sanity checks and registry
+#: fingerprints (Table 4's N).
+REFERENCE_N_USERS = 5
 
 
 class UnknownSystemError(KeyError):
@@ -41,15 +62,134 @@ class UnknownSystemError(KeyError):
         return f"unknown system {self.name!r}; registered systems: {', '.join(self.known) or '(none)'}"
 
 
+# --------------------------------------------------------------------------- CLI tokens
+def system_token(name: str, options: Mapping[str, Any]) -> str:
+    """Canonical ``name@key=value,...`` token of a system selection.
+
+    Shares the scenario-token grammar (:mod:`repro.experiments.tokens`):
+    options sorted by key, floats via ``repr``, bare name when there are no
+    options — so legacy names ("jini2") canonicalise to themselves and
+    parameterised selections always produce equal tokens for equal
+    selections (the property cell keys and seeds rely on).
+    """
+    from repro.experiments.tokens import canonical_token
+
+    return canonical_token(name, options)
+
+
+def parse_system(text: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse a CLI system token: ``jini@k=8,mode=gossip`` -> name + options.
+
+    Values parse as ``true``/``false``, int, float, or fall back to string
+    (identical to ``--scenario`` parsing — one grammar, two front ends).
+    The name is *not* resolved against the registry here — callers use
+    :meth:`DeploymentRegistry.resolve` so errors carry the known names.
+    """
+    from repro.experiments.tokens import parse_token
+
+    return parse_token(text, label="system")
+
+
 @dataclass(frozen=True)
 class SystemEntry:
     """One registered system: its builder plus the metadata the sweep needs."""
 
     name: str
     builder: DeploymentBuilder
-    #: The system's zero-failure update message count (m' in the paper).
-    m_prime: int
+    #: The system's zero-failure update message count as a closed form:
+    #: ``m_prime(n_users, **params) -> int`` (m' in the paper).
+    m_prime: MPrimeForm
     description: str = ""
+    #: Parameter names with their default values (typed; unknown parameters
+    #: and wrongly-typed values are rejected).  Empty = no parameters.
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Human-readable closed form, e.g. ``"(N + 2) * k"`` (CLI listing).
+    m_prime_form: str = ""
+    #: Frozen entries (legacy aliases like "jini1") accept no parameter
+    #: overrides: their parameters are pinned at registration.
+    frozen: bool = False
+    #: Canonical token the entry is an alias of (informational; "" = none).
+    alias_of: str = ""
+
+    def validate_params(self, options: Mapping[str, Any]) -> Dict[str, Any]:
+        """Merge ``options`` over the parameter defaults, rejecting unknown
+        names and type mismatches (bool/int/float/str, keyed by the default's
+        type — mirrors scenario-option validation)."""
+        unknown = sorted(set(options) - set(self.params))
+        if unknown:
+            raise ValueError(
+                f"system {self.name!r} does not accept option(s) "
+                f"{', '.join(unknown)}; known options: "
+                f"{', '.join(sorted(self.params)) or '(none)'}"
+            )
+        merged = dict(self.params)
+        for key, value in options.items():
+            default = self.params[key]
+            if isinstance(default, bool):
+                if not isinstance(value, bool):
+                    raise ValueError(
+                        f"system option {self.name}@{key} must be a bool, got {value!r}"
+                    )
+            elif isinstance(default, int):
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"system option {self.name}@{key} must be an integer, got {value!r}"
+                    )
+            elif isinstance(default, float):
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"system option {self.name}@{key} must be a number, got {value!r}"
+                    )
+                value = float(value)
+            elif isinstance(default, str):
+                if not isinstance(value, str):
+                    raise ValueError(
+                        f"system option {self.name}@{key} must be a string, got {value!r}"
+                    )
+            merged[key] = value
+        return merged
+
+    def m_prime_at(self, n_users: int, options: Optional[Mapping[str, Any]] = None) -> int:
+        """The closed-form m' at ``n_users`` with ``options`` over the defaults."""
+        merged = self.validate_params(options or {})
+        return int(self.m_prime(n_users, **merged))
+
+
+@dataclass(frozen=True)
+class ResolvedSystem:
+    """A system token resolved against a registry: entry + validated options.
+
+    This is what flows through the sweep: :attr:`token` is the canonical
+    system string (== the bare entry name for legacy selections), and
+    :meth:`m_prime`/:meth:`build` apply the selection's parameters.
+    """
+
+    entry: SystemEntry
+    #: The explicitly selected options (validated, unmerged).
+    options: Dict[str, Any]
+    #: Canonical token of the selection (cell keys, seeds, JSON output).
+    token: str
+
+    @property
+    def name(self) -> str:
+        """Bare registry name of the entry."""
+        return self.entry.name
+
+    def m_prime(self, n_users: int) -> int:
+        """Closed-form m' of this selection at ``n_users``."""
+        return self.entry.m_prime_at(n_users, self.options)
+
+    def build(
+        self,
+        sim: Simulator,
+        network: Network,
+        tracker: ConsistencyTracker,
+        **options: object,
+    ) -> ProtocolDeployment:
+        """Construct the deployment with the selection's parameters applied."""
+        merged = self.entry.validate_params(self.options)
+        merged.update(options)
+        return self.entry.builder(sim, network, tracker, **merged)
 
 
 class DeploymentRegistry:
@@ -71,22 +211,83 @@ class DeploymentRegistry:
         self,
         name: str,
         builder: DeploymentBuilder,
-        m_prime: int = 7,
+        m_prime: object = 7,
         description: str = "",
         replace: bool = False,
+        params: Optional[Mapping[str, Any]] = None,
+        m_prime_form: str = "",
     ) -> SystemEntry:
         """Register ``builder`` under ``name``.
 
+        ``m_prime`` is the closed form ``(n_users, **params) -> int``; a
+        plain integer is accepted for convenience and wrapped into a
+        constant form (its ``m_prime_form`` defaults to the constant).
         Duplicate names raise unless ``replace=True`` (used by experiments
         that swap in instrumented variants of a system).
         """
         if not name:
             raise ValueError("system name must be non-empty")
-        if m_prime <= 0:
-            raise ValueError("m_prime must be positive")
+        if isinstance(m_prime, bool) or not (isinstance(m_prime, int) or callable(m_prime)):
+            raise ValueError(f"m_prime must be an int or a callable, got {m_prime!r}")
+        if isinstance(m_prime, int):
+            if m_prime <= 0:
+                raise ValueError("m_prime must be positive")
+            constant = m_prime
+            m_prime_form = m_prime_form or str(constant)
+
+            def m_prime(n_users: int, **_params: Any) -> int:  # noqa: F811
+                return constant
+
         if name in self._entries and not replace:
             raise ValueError(f"system {name!r} already registered")
-        entry = SystemEntry(name=name, builder=builder, m_prime=m_prime, description=description)
+        entry = SystemEntry(
+            name=name,
+            builder=builder,
+            m_prime=m_prime,
+            description=description,
+            params=dict(params or {}),
+            m_prime_form=m_prime_form,
+        )
+        if entry.m_prime_at(REFERENCE_N_USERS) <= 0:
+            raise ValueError("m_prime must be positive")
+        self._entries[name] = entry
+        return entry
+
+    def register_alias(
+        self,
+        name: str,
+        target: str,
+        description: str = "",
+        replace: bool = False,
+    ) -> SystemEntry:
+        """Register ``name`` as a *frozen* alias of the system token ``target``.
+
+        The alias shares the target's builder and closed form with the
+        token's parameters pinned; resolving the alias with any explicit
+        option is rejected, so a legacy name can never silently drift from
+        the topology it historically selected.
+        """
+        resolved = self.resolve(target)
+        pinned = resolved.entry.validate_params(resolved.options)
+        target_m_prime = resolved.entry.m_prime
+
+        def alias_m_prime(n_users: int, **overrides: Any) -> int:
+            merged = dict(pinned)
+            merged.update(overrides)
+            return target_m_prime(n_users, **merged)
+
+        if name in self._entries and not replace:
+            raise ValueError(f"system {name!r} already registered")
+        entry = SystemEntry(
+            name=name,
+            builder=resolved.entry.builder,
+            m_prime=alias_m_prime,
+            description=description or resolved.entry.description,
+            params=pinned,
+            m_prime_form=resolved.entry.m_prime_form,
+            frozen=True,
+            alias_of=resolved.token,
+        )
         self._entries[name] = entry
         return entry
 
@@ -95,11 +296,34 @@ class DeploymentRegistry:
         self._entries.pop(name, None)
 
     def get(self, name: str) -> SystemEntry:
-        """Look up a system; raises :class:`UnknownSystemError` with the known names."""
+        """Look up a *bare* system name; raises :class:`UnknownSystemError`.
+
+        Parameterised selections go through :meth:`resolve`, which accepts
+        full ``name@key=value,...`` tokens.
+        """
         try:
             return self._entries[name]
         except KeyError:
             raise UnknownSystemError(name, self.names()) from None
+
+    def resolve(self, token: str) -> ResolvedSystem:
+        """Resolve a system token (bare name or ``name@key=value,...``).
+
+        Validates the parameters against the entry's typed defaults and
+        canonicalises the token, so equal selections resolve to equal
+        :attr:`ResolvedSystem.token` strings.  Frozen aliases reject any
+        explicit option.
+        """
+        name, options = parse_system(token)
+        entry = self.get(name)
+        if options and entry.frozen:
+            raise ValueError(
+                f"system {name!r} is a frozen alias of {entry.alias_of!r} "
+                f"and accepts no options (use {entry.alias_of.partition('@')[0]!r} "
+                f"with explicit parameters instead)"
+            )
+        entry.validate_params(options)
+        return ResolvedSystem(entry=entry, options=options, token=system_token(name, options))
 
     def names(self) -> List[str]:
         """All registered system names, sorted."""
@@ -113,9 +337,13 @@ class DeploymentRegistry:
         tracker: ConsistencyTracker,
         **options: object,
     ) -> ProtocolDeployment:
-        """Construct the named system's deployment on the given substrate."""
-        entry = self.get(name)
-        deployment = entry.builder(sim, network, tracker, **options)
+        """Construct a system's deployment on the given substrate.
+
+        ``name`` may be a bare registry name or a full system token; the
+        token's parameters are merged into the builder options.
+        """
+        resolved = self.resolve(name)
+        deployment = resolved.build(sim, network, tracker, **options)
         if not isinstance(deployment, ProtocolDeployment):
             raise TypeError(
                 f"builder for {name!r} returned {type(deployment).__name__}, "
@@ -146,14 +374,20 @@ def system_names() -> List[str]:
 
 # --------------------------------------------------------------------------- standard systems
 def _register_standard_systems() -> None:
-    """Register the systems of the paper's comparison (Table 4)."""
+    """Register the systems of the paper's comparison (Table 4).
+
+    Every ``m_prime`` is Table 2's closed form from
+    :func:`repro.core.recovery.expected_update_messages` — one source for
+    the counts, so registry metadata can never drift from the deployments
+    (which compute the same forms at build time).
+    """
     import dataclasses
 
-    from repro.protocols.frodo.builder import FrodoDeployment, build_frodo
+    from repro.core.recovery import expected_update_messages
+    from repro.protocols.federation.builder import FEDERATION_PARAM_DEFAULTS, build_federation
+    from repro.protocols.frodo.builder import build_frodo
     from repro.protocols.frodo.config import FrodoConfig, SubscriptionMode
-    from repro.protocols.jini.builder import M_PRIME_PER_REGISTRY, build_jini
-    from repro.protocols.jini.config import JiniConfig
-    from repro.protocols.upnp.builder import UpnpDeployment, build_upnp
+    from repro.protocols.upnp.builder import build_upnp
     from repro.protocols.upnp.config import UpnpConfig
 
     def _frodo_builder(mode: SubscriptionMode) -> DeploymentBuilder:
@@ -172,16 +406,21 @@ def _register_standard_systems() -> None:
 
         return _build
 
+    def _frodo_m_prime(n_users: int, **_params: Any) -> int:
+        return expected_update_messages("frodo", n_users)
+
     SYSTEMS.register(
         "frodo3",
         _frodo_builder(SubscriptionMode.THREE_PARTY),
-        m_prime=FrodoDeployment.m_prime,
+        m_prime=_frodo_m_prime,
+        m_prime_form="N + 2",
         description="FRODO, 3-party subscription (3D Manager, Central relays updates)",
     )
     SYSTEMS.register(
         "frodo2",
         _frodo_builder(SubscriptionMode.TWO_PARTY),
-        m_prime=FrodoDeployment.m_prime,
+        m_prime=_frodo_m_prime,
+        m_prime_form="N + 2",
         description="FRODO, 2-party subscription (300D Manager notifies Users directly)",
     )
 
@@ -197,35 +436,35 @@ def _register_standard_systems() -> None:
     SYSTEMS.register(
         "upnp",
         _build_upnp,
-        m_prime=UpnpDeployment.m_prime,
+        m_prime=lambda n_users, **_params: expected_update_messages("upnp", n_users),
+        m_prime_form="3N",
         description="UPnP (2-party GENA eventing over TCP, SSDP rediscovery, 6-copy multicast)",
     )
 
-    def _jini_builder(n_registries: int) -> DeploymentBuilder:
-        def _build(
-            sim: Simulator,
-            network: Network,
-            tracker: ConsistencyTracker,
-            n_users: int = 5,
-            config: Optional[JiniConfig] = None,
-        ) -> ProtocolDeployment:
-            return build_jini(
-                sim, network, tracker, config=config, n_users=n_users, n_registries=n_registries
-            )
-
-        return _build
-
     SYSTEMS.register(
-        "jini1",
-        _jini_builder(1),
-        m_prime=M_PRIME_PER_REGISTRY,
-        description="Jini, 1 Lookup Service (3-party remote events over TCP)",
+        "jini",
+        build_federation,
+        m_prime=lambda n_users, k=1, **_params: expected_update_messages(
+            "jini", n_users, registries=int(k)
+        ),
+        params=FEDERATION_PARAM_DEFAULTS,
+        m_prime_form="(N + 2) * k",
+        description=(
+            "Jini, K federated Lookup Services "
+            "(mesh/star/ring/line topology; push/pull/gossip propagation)"
+        ),
     )
-    SYSTEMS.register(
+    # The legacy names pin the federation-details block off: their per-run
+    # output predates it and must stay byte-identical.
+    SYSTEMS.register_alias(
+        "jini1",
+        "jini@k=1,report=false",
+        description="Jini, 1 Lookup Service (frozen alias of jini@k=1)",
+    )
+    SYSTEMS.register_alias(
         "jini2",
-        _jini_builder(2),
-        m_prime=2 * M_PRIME_PER_REGISTRY,
-        description="Jini, 2 Lookup Services (redundant Registries double update traffic)",
+        "jini@k=2,report=false",
+        description="Jini, 2 Lookup Services (frozen alias of jini@k=2)",
     )
 
 

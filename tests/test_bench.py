@@ -55,6 +55,18 @@ def test_scale_workloads_pin_topology_sizes():
     assert find_workload("users-scaling", quick).users == [5, 100]
 
 
+def test_federation_workloads_cover_the_k_grid():
+    for quick in (True, False):
+        workloads = standard_workloads(quick=quick)
+        for k in (2, 4, 8):
+            workload = find_workload(f"federation:jini@k={k}", workloads)
+            assert workload.spec.systems == (f"jini@k={k}",)
+        gossip = find_workload(
+            "federation:jini@assign=partition,k=4,mode=gossip,topology=ring", workloads
+        )
+        assert gossip.spec.systems == ("jini@assign=partition,k=4,mode=gossip,topology=ring",)
+
+
 def test_find_workload_rejects_unknown_names():
     workloads = standard_workloads(quick=True)
     assert find_workload("system:frodo3", workloads).name == "system:frodo3"
@@ -85,7 +97,7 @@ def test_bench_payload_shape_and_file_output(tmp_path):
     records = run_bench([TINY], jobs=2, observer=seen.append)
     assert [record.name for record in seen] == ["tiny"]
     data = bench_to_dict(records, quick=True, repeats=1)
-    assert data["schema"] == 2
+    assert data["schema"] == 3
     assert data["quick"] is True
     assert set(data["environment"]) == {"python", "machine", "cpus"}
     assert data["totals"]["cells"] == 1
@@ -121,7 +133,7 @@ def test_schema_two_records_per_workload_users():
     record = _fake_record("system:frodo3@1000", 1.0, users=(1000,))
     assert record.to_dict()["users"] == [1000]
     data = bench_to_dict([record])
-    assert data["schema"] == 2
+    assert data["schema"] == 3
     assert data["workloads"][0]["users"] == [1000]
 
 

@@ -30,6 +30,7 @@ M_PRIME_AT_N = {
     "frodo2": lambda n: n + 2,
     "frodo3": lambda n: n + 2,
     "upnp": lambda n: 3 * n,
+    "jini": lambda n: n + 2,
     "jini1": lambda n: n + 2,
     "jini2": lambda n: 2 * (n + 2),
 }
@@ -51,8 +52,25 @@ def scale_run(system):
 
 
 def test_battery_covers_the_paper_comparison():
-    assert set(M_PRIME_AT_N) == {"frodo2", "frodo3", "upnp", "jini1", "jini2"}
+    assert set(M_PRIME_AT_N) == {"frodo2", "frodo3", "upnp", "jini", "jini1", "jini2"}
     assert set(ALL_SYSTEMS) >= set(M_PRIME_AT_N)
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+@pytest.mark.parametrize("n_users", [5, N_USERS])
+def test_registry_m_prime_matches_deployment(system, n_users):
+    """The registry's closed form and the built deployment agree at every N
+    (the metadata-drift regression the callable m' redesign fixed)."""
+    runner = ExperimentRunner()
+    context = runner.setup(
+        ScenarioSpec(system=system, failure_rate=0.0, seed=99, n_users=n_users)
+    )
+    try:
+        assert SYSTEMS.resolve(system).m_prime(n_users) == context.deployment.m_prime
+    finally:
+        context.deployment.stop()
+        context.injector.stop()
+        context.sim.tracer.close()
 
 
 @pytest.mark.parametrize("system", ALL_SYSTEMS)

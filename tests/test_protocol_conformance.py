@@ -36,6 +36,8 @@ TABLE2_FORMS = {
     "upnp": ("upnp", {"system": "upnp", "registries": 1}),
     "jini1": ("jini1", {"system": "jini", "registries": 1}),
     "jini2": ("jini2", {"system": "jini", "registries": 2}),
+    # The parameterised family defaults to k=1, the paper's jini1 profile.
+    "jini": ("jini1", {"system": "jini", "registries": 1}),
 }
 
 _zero_runs = {}
@@ -58,7 +60,7 @@ def test_paper_comparison_systems_are_registered():
 @pytest.mark.parametrize("system", ALL_SYSTEMS)
 def test_zero_failure_baseline_hits_m_prime(system):
     result, context = zero_failure_run(system)
-    m_prime = SYSTEMS.get(system).m_prime
+    m_prime = SYSTEMS.get(system).m_prime_at(5)
     # The registry metadata and the deployment must agree on m'.
     assert context.deployment.m_prime == m_prime
     # y = m' exactly: the declared baseline is the measured baseline.
@@ -79,11 +81,11 @@ def test_zero_failure_users_all_consistent_before_deadline(system):
 @pytest.mark.parametrize("system", ALL_SYSTEMS)
 def test_zero_failure_metrics_are_perfect(system):
     result, _ = zero_failure_run(system)
-    summary = MetricSummary.from_runs([result], m_prime=SYSTEMS.get(system).m_prime)
+    summary = MetricSummary.from_runs([result], m_prime=SYSTEMS.get(system).m_prime_at(5))
     assert summary.effectiveness == 1.0
     assert summary.efficiency_degradation == 1.0
     assert summary.responsiveness > 0.999
-    if SYSTEMS.get(system).m_prime == PAPER_GLOBAL_MINIMUM_MESSAGES:
+    if SYSTEMS.get(system).m_prime_at(5) == PAPER_GLOBAL_MINIMUM_MESSAGES:
         assert summary.update_efficiency == 1.0
 
 
@@ -128,8 +130,8 @@ def test_update_tagging_matches_protocol_declaration(system):
 def test_declared_m_prime_matches_paper_tables(system):
     profile_key, form = TABLE2_FORMS[system]
     entry = SYSTEMS.get(system)
-    assert entry.m_prime == PROTOCOL_PROFILES[profile_key].m_prime
-    assert entry.m_prime == expected_update_messages(n_users=5, **form)
+    assert entry.m_prime_at(5) == PROTOCOL_PROFILES[profile_key].m_prime
+    assert entry.m_prime_at(5) == expected_update_messages(n_users=5, **form)
 
 
 @pytest.mark.parametrize(
@@ -160,7 +162,7 @@ def test_efficiency_ratios_never_exceed_one(system):
         systems=(system,), failure_rates=(0.0, 0.3), runs_per_cell=2, base_seed=77
     )
     result = sweep(spec)
-    m_prime = SYSTEMS.get(system).m_prime
+    m_prime = SYSTEMS.get(system).m_prime_at(5)
     for summary in result.summaries:
         assert 0.0 <= summary.update_efficiency <= 1.0
         assert 0.0 <= summary.efficiency_degradation <= 1.0

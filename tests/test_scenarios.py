@@ -356,4 +356,4 @@ def test_sweep_accepts_scenario_in_library_api():
     )
     result = sweep(spec)
     assert result.summaries[0].effectiveness == 1.0
-    assert CHECKPOINT_VERSION == 3
+    assert CHECKPOINT_VERSION == 4
