@@ -9,7 +9,11 @@ Subcommands
   skips cells the file already contains.  Observability (never changes the
   results): ``--trace-dir out/`` streams one NDJSON trace per cell plus a
   ``telemetry.ndjson`` journal, ``--progress`` prints live cells/s and ETA
-  to stderr.
+  to stderr.  Fault tolerance: ``--cell-timeout``/``--retries`` bound and
+  retry individual cells, ``--max-cell-failures N`` quarantines up to N
+  poisoned cells instead of aborting (their gaps stay explicit; exit 3),
+  and Ctrl-C flushes completed cells to ``--resume`` and prints the exact
+  resume command.
 * ``run``     — execute a single scenario and print its RunResult as JSON;
   ``--trace t.ndjson`` streams the full event trace there.
 * ``trace``   — analyse captured NDJSON traces:
@@ -40,6 +44,7 @@ import argparse
 import cProfile
 import io
 import pstats
+import shlex
 import sys
 from typing import List, Optional, Sequence
 
@@ -53,6 +58,7 @@ from repro.bench.harness import (
 )
 from repro.bench.workloads import find_workload, standard_workloads
 from repro.experiments.executors import make_executor
+from repro.experiments.resilience import PoolRecoveryError, ResiliencePolicy
 from repro.experiments.report import (
     format_summary_table,
     run_to_dict,
@@ -217,6 +223,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print live progress (cells done, cells/s, ETA) to stderr",
+    )
+    sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt; an over-budget cell fails (and may retry)",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="times to re-run a failed cell before quarantining it (default: 0)",
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="base delay between attempts of one cell, doubled per retry (default: 0.1)",
+    )
+    sweep_parser.add_argument(
+        "--max-cell-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "quarantined cells tolerated before aborting the sweep; tolerated "
+            "failures leave explicit gaps in the output and exit status 3 "
+            "(default: 0)"
+        ),
     )
 
     run_parser = subparsers.add_parser("run", help="execute one scenario")
@@ -390,18 +427,33 @@ def _command_sweep(args: argparse.Namespace) -> int:
         scenario_name=scenario_name,
         scenario_options=scenario_options,
     )
+    policy = ResiliencePolicy(
+        cell_timeout=args.cell_timeout,
+        max_retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        max_cell_failures=args.max_cell_failures,
+    )
     result = sweep(
         spec,
         executor=make_executor(args.jobs),
         checkpoint=args.resume,
         trace_dir=args.trace_dir,
         progress=SweepProgress(stream=sys.stderr) if args.progress else None,
+        policy=policy,
     )
     write_sweep_json(result, args.out, include_runs=args.per_run)
     if args.csv is not None:
         write_text(summaries_to_csv(result.summaries), args.csv)
     if args.table:
         sys.stderr.write(format_summary_table(result.summaries))
+    if result.failures:
+        keys = ", ".join(failure.key for failure in result.failures)
+        print(
+            f"warning: {len(result.failures)} cell(s) quarantined after exhausting "
+            f"retries ({keys}); the output has explicit gaps for them",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -524,6 +576,7 @@ def _command_scenarios() -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
     args = build_parser().parse_args(argv)
     try:
         if args.command == "sweep":
@@ -539,9 +592,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "scenarios":
             return _command_scenarios()
         return _command_systems()
-    except (UnknownSystemError, UnknownScenarioError, ValueError, OSError) as exc:
-        # Bad grids (e.g. --runs 0) and unwritable --out paths surface as
-        # clean CLI errors, not tracebacks.
+    except KeyboardInterrupt:
+        # Completed cells were flushed to the checkpoint before the
+        # interrupt propagated (the executors drain finished work first),
+        # so re-running the very same command resumes where this run died.
+        checkpoint = getattr(args, "resume", None)
+        if checkpoint:
+            command = "python -m repro " + " ".join(shlex.quote(token) for token in argv)
+            print(
+                f"interrupted: completed cells are checkpointed in {checkpoint!r}; "
+                f"resume with:\n  {command}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted: no --resume checkpoint was given, progress is lost",
+                file=sys.stderr,
+            )
+        return 130
+    except (
+        UnknownSystemError,
+        UnknownScenarioError,
+        PoolRecoveryError,
+        ValueError,
+        OSError,
+    ) as exc:
+        # Bad grids (e.g. --runs 0), unwritable --out paths, exhausted
+        # failure budgets, and unrecoverable worker pools surface as clean
+        # CLI errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -142,11 +142,19 @@ def _scenario_workloads(quick: bool) -> List[BenchWorkload]:
     """
     from repro.experiments.scenarios import SCENARIOS
 
+    def _systems_for(name: str) -> tuple:
+        # Partition cuts inter-registry links, which only federated systems
+        # have: a frodo3 grid would time a no-op.  Pull mode exercises the
+        # TTL stale-entry fallback, the family's most interesting path.
+        if name == "partition":
+            return ("jini@k=4,mode=pull",)
+        return ("frodo3",)
+
     return [
         BenchWorkload(
             name=f"scenario:{name}",
             spec=SweepSpec(
-                systems=("frodo3",),
+                systems=_systems_for(name),
                 failure_rates=(0.0, 0.2),
                 runs_per_cell=QUICK_RUNS,
                 base_seed=BENCH_BASE_SEED,

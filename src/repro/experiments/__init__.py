@@ -40,6 +40,17 @@ from repro.experiments.scenarios import (
     scenario_token,
 )
 from repro.experiments.runner import ExperimentRunner, RunContext, RunnerSpec, run_scenario
+from repro.experiments.resilience import (
+    DEFAULT_POLICY,
+    CellExecutionError,
+    CellFailure,
+    CellTimeoutError,
+    ExecutionStats,
+    FailureBudgetExceededError,
+    InjectedFaultError,
+    PoolRecoveryError,
+    ResiliencePolicy,
+)
 from repro.experiments.executors import (
     ParallelExecutor,
     SerialExecutor,
@@ -51,6 +62,7 @@ from repro.experiments.sweep import (
     SweepCell,
     SweepResult,
     SweepSpec,
+    append_cell_error,
     append_checkpoint,
     load_checkpoint,
     save_checkpoint,
@@ -82,6 +94,15 @@ __all__ = [
     "RunContext",
     "RunnerSpec",
     "run_scenario",
+    "DEFAULT_POLICY",
+    "CellExecutionError",
+    "CellFailure",
+    "CellTimeoutError",
+    "ExecutionStats",
+    "FailureBudgetExceededError",
+    "InjectedFaultError",
+    "PoolRecoveryError",
+    "ResiliencePolicy",
     "ParallelExecutor",
     "SerialExecutor",
     "SweepExecutor",
@@ -90,6 +111,7 @@ __all__ = [
     "SweepCell",
     "SweepSpec",
     "SweepResult",
+    "append_cell_error",
     "append_checkpoint",
     "load_checkpoint",
     "save_checkpoint",

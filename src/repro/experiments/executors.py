@@ -19,6 +19,18 @@ parallel sweeps produce byte-identical output to serial ones:
   worker ran a cell, how cells were chunked, or in which order chunks
   finished.
 
+Both executors run cells through the resilience layer
+(:mod:`repro.experiments.resilience`): a
+:class:`~repro.experiments.resilience.ResiliencePolicy` adds per-cell
+timeouts and deterministic retries, an ``on_error`` callback routes
+finally-failed cells to the caller as typed
+:class:`~repro.experiments.resilience.CellFailure` records (without one the
+original exception propagates, the legacy behaviour), and the parallel
+executor survives worker death: a ``BrokenProcessPool`` rebuilds the pool
+and resubmits only the chunks that never finished.  A ``KeyboardInterrupt``
+drains already-finished chunks through ``on_result`` before re-raising, so
+an interrupted checkpointed sweep keeps every completed cell.
+
 ``make_executor(jobs)`` is the CLI-facing factory: ``--jobs 1`` selects the
 serial path, ``--jobs N`` (N > 1) the process pool.  Customised registries
 ride along by handing the pool a :class:`RunnerSpec` (an importable
@@ -29,9 +41,19 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.metrics import RunResult
+from repro.experiments.resilience import (
+    DEFAULT_POLICY,
+    CellExecutionError,
+    CellFailure,
+    ExecutionStats,
+    PoolRecoveryError,
+    ResiliencePolicy,
+    run_cell_guarded,
+)
 from repro.experiments.runner import ExperimentRunner, RunnerSpec
 from repro.experiments.scenario import ScenarioSpec
 from repro.protocols.registry import SYSTEMS
@@ -49,9 +71,23 @@ CellCallback = Callable[[int, RunResult], None]
 #: parallel executor the wall time is measured inside the worker process.
 CellProgress = Callable[[int, RunResult, float], None]
 
+#: Failure callback: ``(index_into_submitted_scenarios, CellFailure)`` for a
+#: cell that exhausted its retries.  Without one, the cell's own exception
+#: propagates and aborts the sweep (the legacy behaviour).
+CellErrorCallback = Callable[[int, CellFailure], None]
+
 #: Chunks submitted per worker: enough that a slow chunk cannot leave workers
 #: idle for long, few enough that dispatch overhead stays amortised.
 _CHUNKS_PER_WORKER = 4
+
+
+def _cell_keys(scenarios: Sequence[ScenarioSpec], keys: Optional[Sequence[str]]) -> List[str]:
+    """The per-cell keys used for fault matching and stats (defaulted by index)."""
+    if keys is None:
+        return [f"cell-{index}" for index in range(len(scenarios))]
+    if len(keys) != len(scenarios):
+        raise ValueError(f"got {len(keys)} keys for {len(scenarios)} scenarios")
+    return list(keys)
 
 
 class SerialExecutor:
@@ -61,6 +97,8 @@ class SerialExecutor:
 
     def __init__(self, runner: Optional[ExperimentRunner] = None) -> None:
         self.runner = runner
+        #: Stats of the most recent :meth:`run_scenarios` call (observability).
+        self.last_stats = ExecutionStats()
 
     def run_scenarios(
         self,
@@ -68,14 +106,35 @@ class SerialExecutor:
         runner: Optional[ExperimentRunner] = None,
         on_result: Optional[CellCallback] = None,
         on_progress: Optional[CellProgress] = None,
+        keys: Optional[Sequence[str]] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        on_error: Optional[CellErrorCallback] = None,
     ) -> List[RunResult]:
-        """Execute ``scenarios`` in order; returns results in the same order."""
+        """Execute ``scenarios`` in order; returns successful results in order.
+
+        Failed cells (after ``policy`` retries) go to ``on_error`` and are
+        omitted from the returned list; without ``on_error`` the original
+        exception propagates.
+        """
         active = runner or self.runner or ExperimentRunner()
+        policy = policy if policy is not None else DEFAULT_POLICY
+        stats = ExecutionStats()
+        self.last_stats = stats
+        cell_keys = _cell_keys(scenarios, keys)
         results: List[RunResult] = []
         for index, scenario in enumerate(scenarios):
             started = time.perf_counter()
-            result = active.run(scenario)
+            try:
+                result, attempts = run_cell_guarded(active, scenario, cell_keys[index], policy)
+            except CellExecutionError as exc:
+                stats.record(exc.key, exc.attempts, failed=True)
+                if on_error is None:
+                    # Legacy contract: the cell's own exception aborts the run.
+                    raise exc.original from None
+                on_error(index, exc.failure())
+                continue
             wall = time.perf_counter() - started
+            stats.record(cell_keys[index], attempts)
             results.append(result)
             if on_result is not None:
                 on_result(index, result)
@@ -95,25 +154,46 @@ def _init_worker(runner_spec: RunnerSpec) -> None:
     _WORKER_RUNNER = runner_spec.resolve()
 
 
-def _run_chunk(scenarios: Sequence[ScenarioSpec]) -> List[Dict[str, Any]]:
+def _run_chunk(
+    scenarios: Sequence[ScenarioSpec],
+    keys: Sequence[str],
+    policy: ResiliencePolicy,
+) -> List[Dict[str, Any]]:
     """Task body: run a chunk of cells on the warm runner, stream plain dicts.
 
-    Each payload is ``{"run": RunResult.to_dict(), "wall_seconds": float}``:
-    the ``to_dict`` form keeps the result pickle small and JSON-shaped (the
-    same representation the sweep checkpoint uses) and the parent rebuilds
-    full :class:`RunResult` objects via ``from_dict`` — a lossless round
-    trip by contract.  ``wall_seconds`` is measured here, in the worker, so
-    per-cell timing survives chunked submission.
+    A successful cell yields ``{"run": RunResult.to_dict(), "wall_seconds":
+    float, "attempts": int}``: the ``to_dict`` form keeps the result pickle
+    small and JSON-shaped (the same representation the sweep checkpoint uses)
+    and the parent rebuilds full :class:`RunResult` objects via ``from_dict``
+    — a lossless round trip by contract.  A cell that exhausted its retries
+    yields ``{"error": CellFailure.to_dict(), "wall_seconds": float}``
+    instead — the worker never dies on a poisoned cell, only on being killed.
+    ``wall_seconds`` is measured here, in the worker, so per-cell timing
+    survives chunked submission.
     """
     runner = _WORKER_RUNNER
     if runner is None:  # pool built without initializer (defensive)
         runner = ExperimentRunner()
     payloads: List[Dict[str, Any]] = []
-    for scenario in scenarios:
+    for scenario, key in zip(scenarios, keys):
         started = time.perf_counter()
-        result = runner.run(scenario)
-        wall = time.perf_counter() - started
-        payloads.append({"run": result.to_dict(), "wall_seconds": wall})
+        try:
+            result, attempts = run_cell_guarded(runner, scenario, key, policy)
+        except CellExecutionError as exc:
+            payloads.append(
+                {
+                    "error": exc.failure().to_dict(),
+                    "wall_seconds": time.perf_counter() - started,
+                }
+            )
+            continue
+        payloads.append(
+            {
+                "run": result.to_dict(),
+                "wall_seconds": time.perf_counter() - started,
+                "attempts": attempts,
+            }
+        )
     return payloads
 
 
@@ -140,6 +220,8 @@ class ParallelExecutor:
         self.jobs = jobs
         self.runner = runner
         self.runner_spec = runner_spec
+        #: Stats of the most recent :meth:`run_scenarios` call (observability).
+        self.last_stats = ExecutionStats()
 
     def _effective_spec(self, runner: Optional[ExperimentRunner]) -> RunnerSpec:
         if self.runner_spec is not None:
@@ -162,36 +244,108 @@ class ParallelExecutor:
         runner: Optional[ExperimentRunner] = None,
         on_result: Optional[CellCallback] = None,
         on_progress: Optional[CellProgress] = None,
+        keys: Optional[Sequence[str]] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        on_error: Optional[CellErrorCallback] = None,
     ) -> List[RunResult]:
-        """Execute ``scenarios`` concurrently; returns results in submission order."""
+        """Execute ``scenarios`` concurrently; returns results in submission order.
+
+        Survives worker death: when the pool breaks (a worker was killed),
+        it is rebuilt and only the chunks that never finished are
+        resubmitted, up to ``policy.max_pool_rebuilds`` times.  Because every
+        cell derives its randomness from its own seed, a resubmitted chunk
+        reproduces exactly what the dead worker would have produced.
+        """
         runner_spec = self._effective_spec(runner or self.runner)
+        policy = policy if policy is not None else DEFAULT_POLICY
+        stats = ExecutionStats()
+        self.last_stats = stats
         if not scenarios:
             return []
+        cell_keys = _cell_keys(scenarios, keys)
         # Chunked submission: one future per chunk (not per cell) amortises
         # pool dispatch and result-pickling overhead over many cells.
         chunk_size = max(1, -(-len(scenarios) // (self.jobs * _CHUNKS_PER_WORKER)))
-        chunks = [
-            (start, list(scenarios[start : start + chunk_size]))
+        pending: Dict[int, List[ScenarioSpec]] = {
+            start: list(scenarios[start : start + chunk_size])
             for start in range(0, len(scenarios), chunk_size)
-        ]
+        }
         results: List[Optional[RunResult]] = [None] * len(scenarios)
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(chunks)),
-            initializer=_init_worker,
-            initargs=(runner_spec,),
-        ) as pool:
-            futures = {
-                pool.submit(_run_chunk, chunk): start for start, chunk in chunks
-            }
-            for future in concurrent.futures.as_completed(futures):
-                start = futures[future]
-                for offset, payload in enumerate(future.result()):
-                    result = RunResult.from_dict(payload["run"])
-                    results[start + offset] = result
-                    if on_result is not None:
-                        on_result(start + offset, result)
-                    if on_progress is not None:
-                        on_progress(start + offset, result, payload["wall_seconds"])
+
+        def consume(start: int, payloads: List[Dict[str, Any]]) -> None:
+            for offset, payload in enumerate(payloads):
+                index = start + offset
+                error = payload.get("error")
+                if error is not None:
+                    failure = CellFailure.from_dict(error)
+                    stats.record(failure.key, failure.attempts, failed=True)
+                    if on_error is None:
+                        # Legacy contract: a failed cell aborts the sweep.
+                        raise CellExecutionError(
+                            failure.key,
+                            failure.attempts,
+                            RuntimeError(f"{failure.error}: {failure.message}"),
+                        )
+                    on_error(index, failure)
+                    continue
+                result = RunResult.from_dict(payload["run"])
+                stats.record(cell_keys[index], payload.get("attempts", 1))
+                results[index] = result
+                if on_result is not None:
+                    on_result(index, result)
+                if on_progress is not None:
+                    on_progress(index, result, payload["wall_seconds"])
+
+        rebuilds = 0
+        while pending:
+            broken = False
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(runner_spec,),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_chunk, chunk, cell_keys[start : start + len(chunk)], policy
+                    ): start
+                    for start, chunk in sorted(pending.items())
+                }
+                try:
+                    for future in concurrent.futures.as_completed(futures):
+                        start = futures[future]
+                        try:
+                            payloads = future.result()
+                        except BrokenProcessPool:
+                            # A worker died; its chunk stays pending.  Keep
+                            # draining — chunks that finished before the
+                            # break still hold results.
+                            broken = True
+                            continue
+                        del pending[start]
+                        consume(start, payloads)
+                except KeyboardInterrupt:
+                    # Flush chunks that DID complete before the interrupt so
+                    # their cells reach on_result (and the checkpoint
+                    # journal) before the interrupt propagates.
+                    for future, start in futures.items():
+                        if start in pending and future.done() and not future.cancelled():
+                            try:
+                                payloads = future.result()
+                            except Exception:
+                                continue
+                            del pending[start]
+                            consume(start, payloads)
+                    raise
+            if broken:
+                stats.pool_rebuilds += 1
+                rebuilds += 1
+                if rebuilds > policy.max_pool_rebuilds:
+                    raise PoolRecoveryError(
+                        f"worker pool broke {rebuilds} time(s), exceeding the "
+                        f"rebuild cap of {policy.max_pool_rebuilds}; "
+                        f"{len(pending)} chunk(s) never finished — a worker "
+                        f"is dying repeatedly (OOM kill? native crash?)"
+                    )
         return [result for result in results if result is not None]
 
 

@@ -50,13 +50,21 @@ def sweep_to_dict(
     result: SweepResult,
     include_runs: bool = False,
 ) -> Dict[str, Any]:
-    """Plain-data form of a whole sweep."""
+    """Plain-data form of a whole sweep.
+
+    Quarantined cells (fault-tolerant sweeps under a failure budget) appear
+    under ``"failures"`` so the output names its own gaps; clean sweeps omit
+    the key entirely, keeping their JSON byte-identical to pre-resilience
+    output.
+    """
     data: Dict[str, Any] = {
         "spec": result.spec.grid_dict(),
         "summaries": [summary_to_dict(summary) for summary in result.summaries],
     }
     if include_runs:
         data["runs"] = [run_to_dict(run) for run in result.runs]
+    if result.failures:
+        data["failures"] = [failure.to_dict() for failure in result.failures]
     return data
 
 

@@ -111,6 +111,7 @@ class ExperimentRunner:
             plan.outages,
             churn=plan.churn,
             loss_windows=plan.loss_windows,
+            link_cuts=plan.link_cuts,
             deadline=spec.deadline,
             node_resolver=nodes.get,
         )

@@ -47,6 +47,7 @@ from repro.net.failures import (
     DisruptionPlan,
     FailureModelConfig,
     InterfaceOutage,
+    LinkCut,
     LossWindow,
     NodeChurn,
     build_interface_failure_plan,
@@ -264,6 +265,7 @@ def _recovery_invariant(spec: ScenarioSpec, result: RunResult) -> List[str]:
         float(failures.get("last_outage_end", 0.0)),
         float(failures.get("last_loss_end", 0.0)),
         float(failures.get("last_churn_end", 0.0)),
+        float(failures.get("last_cut_end", 0.0)),
     )
     if result.deadline - last_disruption < RECOVERY_BOUND:
         return []
@@ -604,6 +606,153 @@ def _check_multichange(spec: ScenarioSpec, result: RunResult) -> List[str]:
     return problems
 
 
+#: The registry-graph disruption shapes of the ``partition`` family.
+PARTITION_MODES: Tuple[str, ...] = ("split", "link", "crash")
+
+
+def _build_partition(
+    spec: ScenarioSpec,
+    deployment: ProtocolDeployment,
+    rng: RngRegistry,
+    options: Dict[str, Any],
+) -> DisruptionPlan:
+    mode = str(options["mode"])
+    start = float(options["start"])
+    duration = float(options["duration"])
+    if mode not in PARTITION_MODES:
+        raise ValueError(
+            f"partition@mode must be one of {', '.join(PARTITION_MODES)}, got {mode!r}"
+        )
+    if start < EARLIEST_DISRUPTION:
+        raise ValueError(
+            f"partition@start must be >= {EARLIEST_DISRUPTION:g}, got {start!r}"
+        )
+    if duration <= 0:
+        raise ValueError(f"partition@duration must be positive, got {duration!r}")
+    if start + duration >= spec.deadline:
+        raise ValueError(
+            f"partition@start={start:g} + duration={duration:g} must heal before "
+            f"the {spec.deadline:g}s deadline"
+        )
+    outages = _baseline_outages(spec, deployment, rng)
+    ids = deployment.registry_ids() if hasattr(deployment, "registry_ids") else []
+    if len(ids) < 2:
+        # Single-registry and non-federated systems have no inter-registry
+        # links to sever: partition degrades to the table4 plan, which keeps
+        # the cross-system conformance battery meaningful.
+        return DisruptionPlan(outages=outages)
+    if mode == "crash":
+        stream = rng.stream("scenario", "partition")
+        node = stream.choice(ids)
+        churn = (NodeChurn(node=node, leave=start, rejoin=start + duration).validate(),)
+        return DisruptionPlan(outages=outages, churn=churn)
+    if mode == "split":
+        # Bipartition the registry graph: sever every near/far pair.  Pairs
+        # that are not adjacency edges matter too — pull mode's home
+        # fallback crosses the graph regardless of topology.
+        half = (len(ids) + 1) // 2
+        cuts = tuple(
+            LinkCut(a=a, b=b, start=start, duration=duration).validate()
+            for a in ids[:half]
+            for b in ids[half:]
+        )
+        return DisruptionPlan(outages=outages, link_cuts=cuts)
+    # mode == "link": sever one randomly drawn adjacency edge.
+    edges = deployment.federation_edges()
+    if not edges:
+        return DisruptionPlan(outages=outages)
+    stream = rng.stream("scenario", "partition")
+    a, b = stream.choice(edges)
+    cut = LinkCut(a=a, b=b, start=start, duration=duration).validate()
+    return DisruptionPlan(outages=outages, link_cuts=(cut,))
+
+
+def _check_partition(spec: ScenarioSpec, result: RunResult) -> List[str]:
+    problems: List[str] = []
+    failures = _failure_section(result)
+    mode = str(spec.scenario_options.get("mode", "split"))
+    start = float(spec.scenario_options.get("start", 1800.0))
+    heal = start + float(spec.scenario_options.get("duration", 600.0))
+    n_cuts = int(failures.get("n_link_cuts", 0))
+    if mode == "crash":
+        if n_cuts:
+            problems.append(f"partition@mode=crash must not cut links, got {n_cuts}")
+        departed = list(failures.get("departed", ()))
+        rejoined = list(failures.get("rejoined", ()))
+        if sorted(departed) != sorted(rejoined):
+            problems.append(
+                f"the crashed registry must restart: "
+                f"departed={departed!r} != rejoined={rejoined!r}"
+            )
+    elif failures.get("n_churn", 0):
+        problems.append(f"partition@mode={mode} must not churn nodes")
+    federation = result.details.get("federation")
+    if not isinstance(federation, dict):
+        return problems
+    k = int(federation.get("k", 0))
+    ids = list(federation.get("registry_ids", ()))
+    half = (k + 1) // 2
+    if mode == "split" and k >= 2 and n_cuts != half * (k - half):
+        problems.append(
+            f"partition@mode=split over k={k} must cut "
+            f"{half * (k - half)} link(s), got {n_cuts}"
+        )
+    if mode == "link" and n_cuts > 1:
+        problems.append(f"partition@mode=link cuts at most one link, got {n_cuts}")
+    # Stale-entry fallback bound: while the federation is split, the far
+    # side can only serve its TTL-bounded stale entry — a change published
+    # during the cut must not reach a far-side registry before the heal.
+    # (Push mode is exempt: its multi-homed Manager updates every registry
+    # directly, so registry-to-registry cuts cannot isolate the far side.)
+    staleness = federation.get("staleness", {})
+    if (
+        mode == "split"
+        and federation.get("mode") in ("pull", "gossip")
+        and k >= 2
+        and start - 1e-9 <= result.change_time < heal
+    ):
+        for registry_id in ids[half:]:
+            window = staleness.get(registry_id)
+            if window is not None and result.change_time + window < heal - 1e-9:
+                problems.append(
+                    f"partition leak: far-side registry {registry_id} stored the "
+                    f"change at {result.change_time + window:g}s, before the "
+                    f"{heal:g}s heal"
+                )
+    # Post-heal reconvergence: once the heal (and every other disruption)
+    # leaves a comfortable failure-free tail, every registry must hold the
+    # authoritative version again and the convergence time must be defined.
+    if mode != "crash":
+        tail_start = max(
+            heal,
+            result.change_time,
+            float(failures.get("last_outage_end", 0.0)),
+            float(failures.get("last_loss_end", 0.0)),
+            float(failures.get("last_churn_end", 0.0)),
+            float(failures.get("last_cut_end", 0.0)),
+        )
+        if result.deadline - tail_start >= RECOVERY_BOUND:
+            change_version = federation.get("change_version")
+            versions = federation.get("registry_versions", {})
+            lagging = sorted(
+                registry_id
+                for registry_id, version in versions.items()
+                if version != change_version
+            )
+            if lagging:
+                problems.append(
+                    f"partition reconvergence: registries {', '.join(lagging)} "
+                    f"still hold a stale version although the post-heal tail "
+                    f"exceeds {RECOVERY_BOUND:g}s"
+                )
+            if federation.get("convergence_time") is None:
+                problems.append(
+                    "partition reconvergence: convergence_time is undefined "
+                    "although the post-heal tail exceeds the recovery bound"
+                )
+    return problems
+
+
 def _register_standard_scenarios() -> None:
     SCENARIOS.register(
         ScenarioFamily(
@@ -675,6 +824,21 @@ def _register_standard_scenarios() -> None:
                 "dropping each delivery with probability `p`"
             ),
             checker=_check_lossy,
+        )
+    )
+    SCENARIOS.register(
+        ScenarioFamily(
+            name="partition",
+            builder=_build_partition,
+            defaults={"mode": "split", "start": 1800.0, "duration": 600.0},
+            description=(
+                "table4 outages plus a federation partition at `start`: "
+                "`mode` split severs every link between the two registry "
+                "halves, link severs one adjacency edge, crash restarts one "
+                "registry; everything heals after `duration` seconds "
+                "(non-federated systems degrade to plain table4)"
+            ),
+            checker=_check_partition,
         )
     )
     SCENARIOS.register(

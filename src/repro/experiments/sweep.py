@@ -26,11 +26,18 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import MetricSummary, RunResult
 from repro.experiments.executors import SerialExecutor, SweepExecutor
+from repro.experiments.resilience import (
+    DEFAULT_POLICY,
+    CellFailure,
+    FailureBudgetExceededError,
+    ResiliencePolicy,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.scenario import (
     DEFAULT_CHANGE_TIME,
@@ -62,7 +69,13 @@ RunObserver = Callable[[RunResult], None]
 #: field, bare names stay bare (legacy keys are unchanged), and the registry
 #: fingerprint evaluates the closed-form m' at the reference N instead of
 #: recording an N=5 constant.
-CHECKPOINT_VERSION = 4
+#: Version 5: journals carry typed ``cell_error`` quarantine records
+#: ({"key": ..., "cell_error": CellFailure.to_dict()}) alongside finished
+#: cells; loaders that only know ``run`` records would silently drop them,
+#: so the version gates them out.  Errored cells stay *pending* on resume —
+#: they are retried, which is what lets an interrupted chaotic sweep
+#: converge to the undisturbed output.
+CHECKPOINT_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -240,6 +253,10 @@ class SweepResult:
     spec: SweepSpec
     runs: List[RunResult]
     summaries: List[MetricSummary]
+    #: Cells quarantined under the failure budget (empty for a clean sweep).
+    #: Their runs/summaries are *gaps*, never fabricated values; the report
+    #: layer surfaces this list so partial output is explicit.
+    failures: List[CellFailure] = field(default_factory=list)
 
     def cell_runs(
         self, system: str, failure_rate: float, n_users: Optional[int] = None
@@ -307,6 +324,10 @@ def _record_line(key: str, run: RunResult) -> str:
     return json.dumps({"key": key, "run": run.to_dict()}, sort_keys=True) + "\n"
 
 
+def _error_line(key: str, failure: CellFailure) -> str:
+    return json.dumps({"key": key, "cell_error": failure.to_dict()}, sort_keys=True) + "\n"
+
+
 def append_checkpoint(
     path: str,
     spec: SweepSpec,
@@ -322,13 +343,39 @@ def append_checkpoint(
         handle.write(_record_line(key, run))
 
 
+def append_cell_error(
+    path: str,
+    spec: SweepSpec,
+    key: str,
+    failure: CellFailure,
+    registry: DeploymentRegistry = SYSTEMS,
+) -> None:
+    """Append one quarantined cell to the journal as a typed ``cell_error`` record.
+
+    Error records document *why* a cell is missing; they never mark it
+    completed.  On resume the cell is pending again (and compaction drops
+    the stale error record), so a later run retries it.
+    """
+    fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, "a", encoding="utf-8") as handle:
+        if fresh:
+            handle.write(json.dumps(_checkpoint_header(spec, registry), sort_keys=True) + "\n")
+        handle.write(_error_line(key, failure))
+
+
 def save_checkpoint(
     path: str,
     spec: SweepSpec,
     completed: Dict[str, RunResult],
     registry: DeploymentRegistry = SYSTEMS,
 ) -> None:
-    """Atomically rewrite the whole journal (compaction; appends do the hot path)."""
+    """Atomically rewrite the whole journal (compaction; appends do the hot path).
+
+    Only finished cells survive compaction: ``cell_error`` records are
+    deliberately dropped, because the cells they describe are pending again
+    and will either finish (a ``run`` record) or fail afresh (a new error
+    record) in the resuming sweep.
+    """
     tmp_path = f"{path}.tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(_checkpoint_header(spec, registry), sort_keys=True) + "\n")
@@ -341,14 +388,17 @@ def load_checkpoint(
     path: str,
     spec: SweepSpec,
     registry: DeploymentRegistry = SYSTEMS,
+    errors_out: Optional[List[CellFailure]] = None,
 ) -> Dict[str, RunResult]:
     """Load the finished cells of a previous partial sweep.
 
     Returns an empty mapping when ``path`` does not exist or is empty (a
     fresh sweep that will start checkpointing there).  A torn final line
-    (interrupted append) is dropped.  Raises :class:`CheckpointMismatchError`
-    when the journal belongs to a different grid and :class:`ValueError` when
-    it is not a checkpoint journal at all.
+    (interrupted append) is dropped.  ``cell_error`` quarantine records are
+    collected into ``errors_out`` (when given) but never mark a cell
+    completed — errored cells are retried on resume.  Raises
+    :class:`CheckpointMismatchError` when the journal belongs to a different
+    grid and :class:`ValueError` when it is not a checkpoint journal at all.
     """
     if not os.path.exists(path):
         return {}
@@ -369,8 +419,10 @@ def load_checkpoint(
         raise ValueError(f"checkpoint {path!r} is not a sweep checkpoint file")
     if header.get("version") != CHECKPOINT_VERSION:
         raise ValueError(
-            f"checkpoint {path!r} has version {header.get('version')!r}, "
-            f"expected {CHECKPOINT_VERSION}"
+            f"checkpoint journal {path!r} has version {header.get('version')!r} but "
+            f"this harness reads version {CHECKPOINT_VERSION}; old journals cannot "
+            f"be resumed — re-run the sweep with a fresh --resume path (or delete "
+            f"{path!r}) to regenerate it"
         )
     expected = _checkpoint_header(spec, registry)
     if any(header.get(field) != expected[field] for field in ("spec", "builder_options")):
@@ -395,6 +447,11 @@ def load_checkpoint(
             raise ValueError(f"checkpoint {path!r} is corrupt at line {number}") from None
         try:
             key = record["key"]
+            if "cell_error" in record:
+                failure = CellFailure.from_dict(record["cell_error"])
+                if errors_out is not None:
+                    errors_out.append(failure)
+                continue
             run = RunResult.from_dict(record["run"])
         except (KeyError, TypeError):
             # Valid JSON of the wrong shape is corruption, not a torn append.
@@ -414,19 +471,35 @@ def _write_telemetry_journal(
     cells: Sequence[SweepCell],
     completed: Dict[str, RunResult],
     walls: Dict[str, float],
+    attempts: Optional[Dict[str, int]] = None,
+    errors: Optional[Dict[str, str]] = None,
+    resilience: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Write the per-cell telemetry journal of a finished sweep.
 
     One NDJSON line per cell, in grid order: the cell coordinates, the wall
     time measured by the executor (``null`` for cells resumed from a
-    checkpoint — they were not executed this time), and the deterministic
-    :mod:`~repro.obs.telemetry` counters carried in the run's details.
+    checkpoint — they were not executed this time), the deterministic
+    :mod:`~repro.obs.telemetry` counters carried in the run's details, the
+    attempts the cell took this execution (``null`` when resumed), and the
+    error type of a quarantined cell (``null`` otherwise — quarantined
+    cells keep their line so gaps are explicit, with ``telemetry: null``).
+    A sweep that had to retry, quarantine, or rebuild pools additionally
+    carries a ``resilience`` summary in the header.
     """
+    attempts = attempts or {}
+    errors = errors or {}
     with open(path, "w", encoding="utf-8") as handle:
-        header = {"format": TELEMETRY_FORMAT, "version": 1, "grid": spec.grid_dict()}
+        header: Dict[str, Any] = {
+            "format": TELEMETRY_FORMAT,
+            "version": 1,
+            "grid": spec.grid_dict(),
+        }
+        if resilience is not None:
+            header["resilience"] = resilience
         handle.write(json.dumps(header, sort_keys=True) + "\n")
         for cell in cells:
-            run = completed[cell.key]
+            run = completed.get(cell.key)
             record = {
                 "key": cell.key,
                 "system": cell.system,
@@ -434,7 +507,9 @@ def _write_telemetry_journal(
                 "failure_rate": cell.failure_rate,
                 "run_index": cell.run_index,
                 "wall_seconds": walls.get(cell.key),
-                "telemetry": run.details.get("telemetry"),
+                "telemetry": run.details.get("telemetry") if run is not None else None,
+                "attempts": attempts.get(cell.key),
+                "error": errors.get(cell.key),
             }
             handle.write(json.dumps(record, sort_keys=True) + "\n")
 
@@ -450,6 +525,7 @@ def sweep(
     checkpoint: Optional[str] = None,
     trace_dir: Optional[str] = None,
     progress: Optional[SweepProgress] = None,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> SweepResult:
     """Execute the full grid and aggregate each cell into a :class:`MetricSummary`.
 
@@ -469,12 +545,22 @@ def sweep(
       order) next to the traces when the sweep finishes.
     * ``progress`` receives live cell-completion updates (typically a
       :class:`~repro.obs.progress.SweepProgress` printing to stderr).
+
+    ``policy`` adds fault tolerance (:mod:`repro.experiments.resilience`):
+    per-cell timeouts, deterministic retries, and a failure budget — up to
+    ``policy.max_cell_failures`` cells may fail, each quarantined as a typed
+    ``cell_error`` journal record and reported in ``SweepResult.failures``
+    with its runs/summaries left as explicit gaps; one failure more raises
+    :class:`~repro.experiments.resilience.FailureBudgetExceededError`.  The
+    default policy keeps the legacy behaviour: the first failing cell aborts
+    the sweep (after writing its quarantine record when checkpointing).
     """
     if runner is None:
         runner = ExperimentRunner(registry)
     else:
         registry = runner.registry
     spec.validate(registry)
+    policy = (policy if policy is not None else DEFAULT_POLICY).validate()
     if executor is None:
         executor = SerialExecutor()
 
@@ -490,7 +576,18 @@ def sweep(
     pending = [cell for cell in cells if cell.key not in completed]
 
     if trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
+        try:
+            os.makedirs(trace_dir, exist_ok=True)
+        except OSError as exc:
+            # Observability must never kill the run it observes: an
+            # unwritable trace dir degrades to no tracing, loudly but once.
+            print(
+                f"warning: cannot create trace dir {trace_dir!r} ({exc}); "
+                f"tracing disabled for this sweep",
+                file=sys.stderr,
+            )
+            trace_dir = None
+    if trace_dir is not None:
         scenarios = [
             replace(cell.scenario, trace_path=os.path.join(trace_dir, trace_filename(cell.key)))
             for cell in pending
@@ -505,6 +602,28 @@ def sweep(
             append_checkpoint(checkpoint, spec, key, result, registry)
         if observer is not None:
             observer(result)
+
+    failures: List[CellFailure] = []
+
+    def on_error(pending_index: int, failure: CellFailure) -> None:
+        failures.append(failure)
+        if checkpoint is not None:
+            append_cell_error(checkpoint, spec, failure.key, failure, registry)
+        if progress is not None:
+            progress.cell_failed(failure.key, failure.error)
+        if len(failures) > policy.max_cell_failures:
+            resume_hint = (
+                f"; completed cells are checkpointed — fix the cause and re-run "
+                f"with --resume {checkpoint}"
+                if checkpoint is not None
+                else ""
+            )
+            raise FailureBudgetExceededError(
+                f"{len(failures)} cell(s) failed, exceeding the failure budget of "
+                f"{policy.max_cell_failures} (--max-cell-failures): "
+                + "; ".join(f"{f.key} [{f.error}: {f.message}]" for f in failures)
+                + resume_hint
+            )
 
     # Wall times are observational only: they flow to the progress reporter
     # and the telemetry journal, never into RunResults (which must stay
@@ -521,23 +640,59 @@ def sweep(
 
     if progress is not None:
         progress.start(len(cells), resumed=len(cells) - len(pending))
-    executor.run_scenarios(scenarios, runner=runner, on_result=on_result, on_progress=on_progress)
+    executor.run_scenarios(
+        scenarios,
+        runner=runner,
+        on_result=on_result,
+        on_progress=on_progress,
+        keys=[cell.key for cell in pending],
+        policy=policy,
+        on_error=on_error,
+    )
     if progress is not None:
         progress.finish()
     if trace_dir is not None:
+        stats = getattr(executor, "last_stats", None)
+        noteworthy = stats is not None and (
+            stats.retried_cells or stats.failed_cells or stats.pool_rebuilds or failures
+        )
+        from repro.obs.telemetry import collect_sweep_resilience
+
         _write_telemetry_journal(
-            os.path.join(trace_dir, TELEMETRY_JOURNAL), spec, cells, completed, walls
+            os.path.join(trace_dir, TELEMETRY_JOURNAL),
+            spec,
+            cells,
+            completed,
+            walls,
+            attempts=stats.attempts if stats is not None else None,
+            errors={failure.key: failure.error for failure in failures},
+            resilience=collect_sweep_resilience(stats, failures) if noteworthy else None,
         )
 
     # Ordered aggregation: grid order, independent of execution/completion
-    # order and of which cells were resumed from the checkpoint.
-    runs = [completed[cell.key] for cell in cells]
+    # order and of which cells were resumed from the checkpoint.  Quarantined
+    # cells are *gaps*: their runs are absent and a cell whose every
+    # replication failed gets no summary row at all, rather than a fabricated
+    # value.
+    run_rows = [completed.get(cell.key) for cell in cells]
+    runs = [run for run in run_rows if run is not None]
     summaries: List[MetricSummary] = []
     for offset, (system, n, _rate) in enumerate(spec.cells()):
-        cell_runs = runs[offset * spec.runs_per_cell : (offset + 1) * spec.runs_per_cell]
+        cell_runs = [
+            run
+            for run in run_rows[offset * spec.runs_per_cell : (offset + 1) * spec.runs_per_cell]
+            if run is not None
+        ]
+        if not cell_runs:
+            continue
         # The deployment's own m' wins over the registry metadata; the
         # fallback evaluates the registry's closed form at the cell's actual
         # topology size, so both agree at every N (not just at 5).
         m_prime = cell_runs[0].details.get("m_prime", registry.resolve(system).m_prime(n))
         summaries.append(MetricSummary.from_runs(cell_runs, m_prime=int(m_prime)))
-    return SweepResult(spec=spec, runs=runs, summaries=summaries)
+    return SweepResult(
+        spec=spec,
+        runs=runs,
+        summaries=summaries,
+        failures=sorted(failures, key=lambda failure: failure.key),
+    )

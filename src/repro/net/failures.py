@@ -19,6 +19,10 @@ deterministic, seed-derived list of events —
 * :class:`LossWindow` — a window during which every on-wire delivery is
   dropped independently with a fixed probability (lossy-link emulation via
   :meth:`~repro.net.network.Network.push_loss`).
+* :class:`LinkCut` — a window during which one point-to-point link is
+  severed entirely (network-partition emulation via
+  :meth:`~repro.net.network.Network.cut_link`); the partition scenario
+  family cuts every cross link of a federation bipartition this way.
 
 A :class:`DisruptionPlan` bundles the three event lists plus any extra
 service-change times; :class:`FailureInjector` applies a plan to a network
@@ -126,6 +130,31 @@ class LossWindow:
 
 
 @dataclass(frozen=True)
+class LinkCut:
+    """A window during which the undirected ``a``-``b`` link is severed."""
+
+    a: Address
+    b: Address
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Time at which the link is healed."""
+        return self.start + self.duration
+
+    def validate(self) -> "LinkCut":
+        """Raise :class:`ValueError` on an inconsistent cut."""
+        if self.a == self.b:
+            raise ValueError(f"link cut endpoints must differ, got {self.a!r} twice")
+        if self.start < 0:
+            raise ValueError(f"link cut start must be >= 0, got {self.start!r}")
+        if self.duration <= 0:
+            raise ValueError(f"link cut duration must be positive, got {self.duration!r}")
+        return self
+
+
+@dataclass(frozen=True)
 class DisruptionPlan:
     """Every disruption of one run, as typed, seed-derived events.
 
@@ -138,6 +167,8 @@ class DisruptionPlan:
     loss_windows: Tuple[LossWindow, ...] = ()
     #: Additional service-change times on top of the spec's ``change_time``.
     extra_change_times: Tuple[float, ...] = ()
+    #: Point-to-point links severed for a window (partition scenarios).
+    link_cuts: Tuple[LinkCut, ...] = ()
 
     @property
     def n_events(self) -> int:
@@ -147,6 +178,7 @@ class DisruptionPlan:
             + len(self.churn)
             + len(self.loss_windows)
             + len(self.extra_change_times)
+            + len(self.link_cuts)
         )
 
 
@@ -265,6 +297,7 @@ class FailureInjector(Process):
         *,
         churn: Sequence[NodeChurn] = (),
         loss_windows: Sequence[LossWindow] = (),
+        link_cuts: Sequence[LinkCut] = (),
         deadline: Optional[float] = None,
         node_resolver: Optional[Callable[[Address], Optional[Process]]] = None,
     ) -> None:
@@ -273,6 +306,7 @@ class FailureInjector(Process):
         self.plan = list(plan)
         self.churn = list(churn)
         self.loss_windows = list(loss_windows)
+        self.link_cuts = list(link_cuts)
         self.deadline = deadline
         self.node_resolver = node_resolver
         #: Outage/churn operations skipped because their target had departed.
@@ -299,6 +333,10 @@ class FailureInjector(Process):
             if deadline is not None and window.start >= deadline:
                 continue
             self.after(max(0.0, window.start - self.now), self._loss_start, window)
+        for cut in self.link_cuts:
+            if deadline is not None and cut.start >= deadline:
+                continue
+            self.after(max(0.0, cut.start - self.now), self._cut, cut)
 
     # ------------------------------------------------------------------ outages
     def _apply(self, outage: InterfaceOutage) -> None:
@@ -363,6 +401,18 @@ class FailureInjector(Process):
         self.network.pop_loss(window.drop_probability)
         self.trace("loss_window_closed", p=window.drop_probability)
 
+    # ------------------------------------------------------------------ link cuts
+    def _cut(self, cut: LinkCut) -> None:
+        # Cuts act on the wire, not on endpoints, so no departed-node guard:
+        # a cut between departed nodes is simply never exercised.
+        self.network.cut_link(cut.a, cut.b)
+        self.trace("link_cut", a=cut.a, b=cut.b, until=cut.end)
+        self.after(cut.duration, self._heal, cut)
+
+    def _heal(self, cut: LinkCut) -> None:
+        self.network.heal_link(cut.a, cut.b)
+        self.trace("link_healed", a=cut.a, b=cut.b)
+
     # ------------------------------------------------------------------ accounting
     def realized_downtime(self) -> Dict[Address, float]:
         """Per-node realized downtime, clamped to the deadline (see :func:`merged_downtime`)."""
@@ -389,6 +439,7 @@ class FailureInjector(Process):
             last_end = max(last_end, end)
         clamp = (lambda t: t) if deadline is None else (lambda t: min(t, deadline))
         last_loss_end = max((clamp(w.end) for w in self.loss_windows), default=0.0)
+        last_cut_end = max((clamp(c.end) for c in self.link_cuts), default=0.0)
         last_churn_end = max(
             (
                 clamp(e.rejoin if e.rejoin is not None else horizon)
@@ -401,6 +452,7 @@ class FailureInjector(Process):
             "n_outages": len(self.plan),
             "n_churn": len(self.churn),
             "n_loss_windows": len(self.loss_windows),
+            "n_link_cuts": len(self.link_cuts),
             "skipped_ops": self.skipped_ops,
             "departed": sorted(self.departed),
             "rejoined": sorted(self.rejoined),
@@ -411,4 +463,6 @@ class FailureInjector(Process):
             "last_outage_end": last_end,
             "last_loss_end": last_loss_end,
             "last_churn_end": last_churn_end,
+            "last_cut_end": last_cut_end,
+            "link_cut_drops": self.network.link_cut_drops,
         }

@@ -72,6 +72,12 @@ class Network:
         self._loss_rand: Optional[Callable[[], float]] = None
         #: Deliveries dropped on the wire by loss windows (telemetry).
         self.link_losses = 0
+        # Severed point-to-point links (partition scenarios).  Undirected
+        # pairs as frozensets; the delivery paths pay one falsy check while
+        # no link is cut, so runs without partitions are untouched.
+        self._cut_links: set = set()
+        #: Deliveries dropped on the wire by severed links (telemetry).
+        self.link_cut_drops = 0
 
     # ------------------------------------------------------------------ membership
     def join(self, endpoint: Endpoint) -> Endpoint:
@@ -137,6 +143,29 @@ class Network:
         """Combined drop probability of the currently active loss windows."""
         return self._loss_p
 
+    # ------------------------------------------------------------------ link cuts
+    def cut_link(self, a: Address, b: Address) -> None:
+        """Sever the undirected link between ``a`` and ``b``.
+
+        While cut, every delivery between the pair — either direction,
+        unicast or multicast — dies on the wire: the send is still spent and
+        recorded (the sender cannot tell), but nothing arrives.  Transports
+        see it as ordinary message loss and run their usual retry/REX
+        machinery, which is exactly how a network partition presents itself
+        to the protocols under test.
+        """
+        if a == b:
+            raise ValueError(f"cannot cut a link from a node to itself: {a!r}")
+        self._cut_links.add(frozenset((a, b)))
+
+    def heal_link(self, a: Address, b: Address) -> None:
+        """Restore a link previously severed with :meth:`cut_link`."""
+        self._cut_links.discard(frozenset((a, b)))
+
+    def link_is_cut(self, a: Address, b: Address) -> bool:
+        """``True`` while the ``a``-``b`` link is severed."""
+        return bool(self._cut_links) and frozenset((a, b)) in self._cut_links
+
     # ------------------------------------------------------------------ helpers
     def transmission_delay(self) -> float:
         """Draw one transmission delay from the uniform 10-100 microsecond range."""
@@ -189,6 +218,14 @@ class Network:
 
         if receiver_ep is None:
             # Destination unknown / departed: message is lost on the wire.
+            return True
+
+        if self._cut_links and frozenset((message.sender, message.receiver)) in self._cut_links:
+            # Severed link (partition scenarios): the send was spent but the
+            # message dies on the wire, exactly like a loss-window drop.  The
+            # cut check comes before the loss draw so cut-dropped deliveries
+            # never consume the loss stream.
+            self.link_cut_drops += 1
             return True
 
         if self._loss_p and self._loss_rand() < self._loss_p:
@@ -304,12 +341,16 @@ class Network:
         post = self.sim.post
         sender = message.sender
         loss_p = self._loss_p
-        if loss_p:
+        cuts = self._cut_links
+        if loss_p or cuts:
             loss_rand = self._loss_rand
             for address, endpoint in self._endpoints.items():
                 if address == sender:
                     continue
-                if loss_rand() < loss_p:
+                if cuts and frozenset((sender, address)) in cuts:
+                    self.link_cut_drops += 1
+                    continue
+                if loss_p and loss_rand() < loss_p:
                     self.link_losses += 1
                     continue
                 post(min_delay + delay_span * rand(), endpoint.deliver, message)

@@ -12,6 +12,10 @@ the paper:
   retransmitted until success; the retransmission time-out starts at the
   round-trip time and grows by 25 % on each retry.
 
+A severed link (partition scenarios) behaves like a dead path: connection
+set-up runs its retry schedule into a REX, and an already-established
+transfer keeps retransmitting until the link heals.
+
 Transport segments (SYN, SYN-ACK, data retransmissions, acknowledgements) are
 recorded as :class:`~repro.net.messages.MessageLayer.TRANSPORT` messages so
 that they can be reported separately; the paper's efficiency metrics for
@@ -108,6 +112,10 @@ class _TcpExchange:
         sent = self.network.transmit_unicast(syn)
         if not sent:
             return False
+        if self.network.link_is_cut(src, dst):
+            # Severed link (partition scenarios): the SYN died on the wire, so
+            # the peer never answers and the setup retry schedule takes over.
+            return False
         dst_ep = self.network.endpoint(dst) if self.network.has_endpoint(dst) else None
         if dst_ep is None or not dst_ep.interface.can_receive() or not dst_ep.interface.can_send():
             return False
@@ -153,7 +161,8 @@ class _TcpExchange:
         dst = self.message.receiver
         delay = self.network.transmission_delay()
         success = (
-            self.network.interfaces_up(src, dst)
+            not self.network.link_is_cut(src, dst)
+            and self.network.interfaces_up(src, dst)
             and self.network.interfaces_up(dst, src)
         )
         if success:

@@ -84,6 +84,13 @@ class SweepProgress:
             line += f"  ({key} in {wall_seconds:.3f}s)"
         self._write(line + "\n")
 
+    def cell_failed(self, key: str, error: str = "") -> None:
+        """Record one quarantined cell (counts toward done; always prints)."""
+        self.done += 1
+        self._last_print = self.clock()
+        label = f" ({error})" if error else ""
+        self._write(f"progress: {self.done}/{self.total} cells  cell {key} FAILED{label}\n")
+
     def finish(self) -> None:
         """Print the closing summary line."""
         elapsed = self.clock() - self._started_at

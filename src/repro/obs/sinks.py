@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import sys
 from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
 
 from repro.sim.tracing import TraceRecord
@@ -98,20 +99,34 @@ class NDJSONSink(TraceSink):
     The file (and any missing parent directories) is created lazily on the
     first record, so a run that traces nothing leaves no file behind unless
     ``eager=True`` forces the header out immediately.
+
+    An unwritable path degrades the sink to :class:`NullSink` behaviour —
+    one stderr warning, then every record is discarded — because a trace
+    must never make a run fail (the sink-interface contract above).
     """
 
     def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None, eager: bool = False):
         self.path = path
         self.meta = dict(meta) if meta else {}
         self._handle: Optional[TextIO] = None
+        self._disabled = False
         if eager:
             self._open()
 
-    def _open(self) -> TextIO:
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        handle = open(self.path, "w", encoding="utf-8")
+    def _open(self) -> Optional[TextIO]:
+        try:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            handle = open(self.path, "w", encoding="utf-8")
+        except OSError as exc:
+            self._disabled = True
+            print(
+                f"warning: cannot write trace {self.path!r} ({exc}); "
+                f"tracing disabled for this run",
+                file=sys.stderr,
+            )
+            return None
         header: Dict[str, Any] = {"format": TRACE_FORMAT, "version": TRACE_SCHEMA_VERSION}
         if self.meta:
             header["meta"] = self.meta
@@ -120,9 +135,13 @@ class NDJSONSink(TraceSink):
         return handle
 
     def emit(self, record: TraceRecord) -> None:
+        if self._disabled:
+            return
         handle = self._handle
         if handle is None:
             handle = self._open()
+            if handle is None:
+                return
         line = json.dumps(
             {
                 "t": record.time,

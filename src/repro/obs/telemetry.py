@@ -60,9 +60,12 @@ Field glossary (see also EXPERIMENTS.md, "Observability")
     ``realized_fraction_mean`` (mean realized downtime over the failed
     nodes as a fraction of the deadline; the honest counterpart of the
     nominal failure rate), and ``last_outage_end``/``last_loss_end``/
-    ``last_churn_end`` (clamped end of the latest outage window, loss
-    window, and churn rejoin — together the start of the disruption-free
-    recovery tail).
+    ``last_churn_end``/``last_cut_end`` (clamped end of the latest outage
+    window, loss window, churn rejoin, and link cut — together the start of
+    the disruption-free recovery tail).  Partition scenarios additionally
+    contribute ``n_link_cuts`` (severed registry links in the plan) and
+    ``link_cut_drops`` (deliveries that died on a severed link — zero
+    outside partition scenarios).
 """
 
 from __future__ import annotations
@@ -130,3 +133,22 @@ def collect_run_telemetry(
     if injector is not None:
         telemetry["failures"] = injector.failure_telemetry()
     return telemetry
+
+
+def collect_sweep_resilience(stats: Any, failures: Any = ()) -> Dict[str, Any]:
+    """Sweep-level resilience summary for the telemetry journal header.
+
+    ``stats`` is the executor's :class:`~repro.experiments.resilience.
+    ExecutionStats` (duck-typed to avoid an import cycle), ``failures`` the
+    sweep's quarantined :class:`~repro.experiments.resilience.CellFailure`
+    records.  Unlike RunTelemetry this is *not* seed-deterministic — pool
+    rebuilds and retries depend on what actually went wrong on the host —
+    which is exactly why it lives in the journal header and never in
+    results.
+    """
+    return {
+        "retried_cells": 0 if stats is None else stats.retried_cells,
+        "failed_cells": 0 if stats is None else stats.failed_cells,
+        "pool_rebuilds": 0 if stats is None else stats.pool_rebuilds,
+        "quarantined": sorted(failure.key for failure in failures),
+    }

@@ -76,12 +76,30 @@ class FederatedJiniDeployment(JiniDeployment):
             self.monitor.record_change(sd.version, self.sim.now)
         return sd
 
+    def registry_ids(self) -> list:
+        """Registry node ids in build order (index 0 is the home registry)."""
+        return [registrar.node_id for registrar in self.registries]
+
+    def federation_edges(self) -> list:
+        """The undirected adjacency edges of the registry graph, sorted.
+
+        Each edge is a ``(a, b)`` id pair with ``a < b``; the partition
+        scenario family draws single-link cuts from this list.
+        """
+        edges = {
+            tuple(sorted((registrar.node_id, peer)))
+            for registrar in self.registries
+            for peer in registrar.peer_addrs
+        }
+        return sorted(edges)
+
     def extra_details(self, change_time: float) -> Dict[str, object]:
         if not self.report or self.monitor is None:
             return {}
-        registry_ids = [registrar.node_id for registrar in self.registries]
         return {
-            "federation": self.monitor.summary(self.network.stats, registry_ids, change_time)
+            "federation": self.monitor.summary(
+                self.network.stats, self.registry_ids(), change_time
+            )
         }
 
 

@@ -103,6 +103,7 @@ class FederationMonitor:
             "mode": self.mode,
             "topology": self.topology,
             "assign": self.assign,
+            "registry_ids": list(registry_ids),
             "change_version": self.change_version,
             "registry_versions": {
                 registry_id: self.registry_version(registry_id) for registry_id in registry_ids

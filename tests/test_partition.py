@@ -1,0 +1,193 @@
+"""Federation partition scenarios: split/link/crash cuts, stale-entry
+fallback during the partition, and post-heal reconvergence.
+
+The ``partition`` family severs inter-registry federation links (graph
+bipartition, single-link cut, or registry crash+restart) and heals them
+after a fixed window.  The battery here asserts, across k in {2, 4, 8} and
+every topology:
+
+* the plan shape — a split over k registries cuts ``half * (k - half)``
+  links, exactly the near/far bipartition pairs;
+* the TTL stale-entry fallback bound — a change published *during* the
+  partition must not reach a far-side registry before the heal (pull and
+  gossip modes, whose only channel to the far side is registry-to-registry
+  federation traffic);
+* post-heal reconvergence — with the default geometry the heal leaves a
+  recovery tail of exactly ``RECOVERY_BOUND`` seconds, so every registry
+  must hold the authoritative version again and the cross-registry
+  convergence time must be defined.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ScenarioSpec, run_scenario
+from repro.experiments.scenarios import RECOVERY_BOUND, SCENARIOS
+from repro.net.failures import DisruptionPlan, LinkCut
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.__main__ import main
+
+#: Default partition geometry (the family's option defaults).
+CUT_START = 1800.0
+CUT_END = 2400.0
+
+
+def _partition_run(system, seed=9, rate=0.0, options=None):
+    spec = ScenarioSpec(
+        system=system,
+        failure_rate=rate,
+        seed=seed,
+        scenario="partition",
+        scenario_options=dict(options or {}),
+    )
+    return spec, run_scenario(spec)
+
+
+# --------------------------------------------------------------------------- plan pieces
+def test_link_cut_validation():
+    assert LinkCut(a="x", b="y", start=0.0, duration=1.0).validate().end == 1.0
+    with pytest.raises(ValueError, match="differ"):
+        LinkCut(a="x", b="x", start=0.0, duration=1.0).validate()
+    with pytest.raises(ValueError):
+        LinkCut(a="x", b="y", start=-1.0, duration=1.0).validate()
+    with pytest.raises(ValueError):
+        LinkCut(a="x", b="y", start=0.0, duration=0.0).validate()
+    plan = DisruptionPlan(link_cuts=(LinkCut(a="x", b="y", start=0.0, duration=1.0),))
+    assert plan.n_events == 1
+
+
+def test_network_link_cut_bookkeeping():
+    network = Network(Simulator(), RngRegistry(0))
+    network.cut_link("a", "b")
+    assert network.link_is_cut("a", "b")
+    assert network.link_is_cut("b", "a")  # undirected
+    with pytest.raises(ValueError):
+        network.cut_link("a", "a")
+    network.heal_link("b", "a")
+    assert not network.link_is_cut("a", "b")
+
+
+def test_partition_builder_rejects_bad_options():
+    for options, match in (
+        ({"mode": "bogus"}, "partition@mode"),
+        ({"start": 10.0}, "partition@start"),
+        ({"duration": 0.0}, "partition@duration"),
+        ({"start": 5000.0, "duration": 1000.0}, "heal before"),
+    ):
+        with pytest.raises(ValueError, match=match):
+            _partition_run("jini@k=2,mode=pull", options=options)
+
+
+def test_partition_degrades_to_table4_for_non_federated_systems():
+    """Systems without inter-registry links get exactly the table4 plan, so
+    the cross-system conformance battery stays meaningful."""
+    for system in ("frodo3", "jini"):  # jini = k=1: nothing to partition
+        spec, result = _partition_run(system, rate=0.2)
+        baseline = run_scenario(
+            ScenarioSpec(system=system, failure_rate=0.2, seed=spec.seed)
+        )
+        assert result == baseline
+        assert result.details["telemetry"]["failures"]["n_link_cuts"] == 0
+        assert SCENARIOS.get("partition").check(spec, result) == []
+
+
+# --------------------------------------------------------------------------- split battery
+@pytest.mark.parametrize("topology", ["mesh", "star", "ring", "line"])
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_split_partition_battery(k, topology):
+    """Pull mode, every k x topology: cut count, stale-entry fallback during
+    the partition, and post-heal reconvergence."""
+    spec, result = _partition_run(f"jini@k={k},mode=pull,topology={topology}")
+    failures = result.details["telemetry"]["failures"]
+    half = (k + 1) // 2
+    assert failures["n_link_cuts"] == half * (k - half)
+    assert failures["last_cut_end"] == CUT_END
+    assert failures["n_churn"] == 0
+
+    federation = result.details["federation"]
+    assert federation["registry_ids"] == [f"jini-lus-{i}" for i in range(1, k + 1)]
+    # The change lands at 2000s, inside the cut window: the far side can only
+    # serve its TTL-bounded stale entry until the heal.
+    assert CUT_START <= result.change_time < CUT_END
+    for registry_id in federation["registry_ids"][half:]:
+        window = federation["staleness"][registry_id]
+        assert window is not None, registry_id
+        assert result.change_time + window >= CUT_END - 1e-9, (
+            f"{registry_id} saw the change before the heal"
+        )
+    # Post-heal reconvergence: the heal leaves a RECOVERY_BOUND tail exactly.
+    assert result.deadline - CUT_END >= RECOVERY_BOUND
+    assert federation["converged_registries"] == k
+    assert federation["convergence_time"] is not None
+    change_version = federation["change_version"]
+    assert all(
+        version == change_version
+        for version in federation["registry_versions"].values()
+    )
+    # And the family's own conformance hook agrees.
+    assert SCENARIOS.get("partition").check(spec, result) == []
+
+
+def test_split_partition_actually_drops_federation_traffic():
+    """Gossip ticks every 120s, so a 600s split must kill deliveries on the
+    severed link — the cut is real, not just bookkeeping."""
+    spec, result = _partition_run("jini@k=2,mode=gossip")
+    failures = result.details["telemetry"]["failures"]
+    assert failures["n_link_cuts"] == 1
+    assert failures["link_cut_drops"] > 0
+    assert SCENARIOS.get("partition").check(spec, result) == []
+
+
+# --------------------------------------------------------------------------- link + crash modes
+def test_single_link_cut_mode():
+    spec, result = _partition_run(
+        "jini@k=4,mode=gossip,topology=ring", options={"mode": "link"}
+    )
+    failures = result.details["telemetry"]["failures"]
+    assert failures["n_link_cuts"] == 1
+    # A ring survives one severed edge: gossip routes around it, so the
+    # registries reconverge (asserted by the family checker's post-heal rule).
+    assert result.details["federation"]["converged_registries"] == 4
+    assert SCENARIOS.get("partition").check(spec, result) == []
+
+
+def test_registry_crash_mode_restarts_one_registry():
+    spec, result = _partition_run(
+        "jini@k=4,mode=pull", options={"mode": "crash"}
+    )
+    failures = result.details["telemetry"]["failures"]
+    assert failures["n_link_cuts"] == 0
+    departed = failures["departed"]
+    assert len(departed) == 1 and departed[0].startswith("jini-lus-")
+    assert sorted(failures["departed"]) == sorted(failures["rejoined"])
+    assert SCENARIOS.get("partition").check(spec, result) == []
+
+
+# --------------------------------------------------------------------------- determinism
+def test_partition_sweep_is_deterministic_across_executors(tmp_path):
+    argv = [
+        "sweep",
+        "--system",
+        "jini@k=4,mode=pull",
+        "--rates",
+        "0,20",
+        "--runs",
+        "2",
+        "--scenario",
+        "partition",
+        "--per-run",
+    ]
+    serial = tmp_path / "serial.json"
+    jobs2 = tmp_path / "jobs2.json"
+    assert main([*argv, "--jobs", "1", "--out", str(serial)]) == 0
+    assert main([*argv, "--jobs", "2", "--out", str(jobs2)]) == 0
+    assert serial.read_bytes() == jobs2.read_bytes()
+    data = json.loads(serial.read_text())
+    assert data["spec"]["scenario"] == "partition"
+    cuts = [
+        run["details"]["telemetry"]["failures"]["n_link_cuts"] for run in data["runs"]
+    ]
+    assert all(n == 4 for n in cuts)  # k=4 split: 2 x 2 bipartition pairs

@@ -50,11 +50,12 @@ def test_standard_families_are_registered():
         "lossy",
         "multichange",
         "overlap",
+        "partition",
         "restart",
         "table4",
     ]
     assert "churn" in SCENARIOS
-    assert len(SCENARIOS) == 8
+    assert len(SCENARIOS) == 9
     assert all(isinstance(family, ScenarioFamily) for family in SCENARIOS)
 
 
@@ -356,4 +357,4 @@ def test_sweep_accepts_scenario_in_library_api():
     )
     result = sweep(spec)
     assert result.summaries[0].effectiveness == 1.0
-    assert CHECKPOINT_VERSION == 4
+    assert CHECKPOINT_VERSION == 5

@@ -8,6 +8,7 @@ the cells the journal does not already contain, tolerate a torn final line
 """
 
 import json
+import os
 from dataclasses import replace
 
 import pytest
@@ -152,6 +153,24 @@ def test_corrupt_and_foreign_checkpoint_files_are_rejected(tmp_path):
     wrong_version.write_text(json.dumps({"version": 0, "spec": SPEC.grid_dict()}) + "\n")
     with pytest.raises(ValueError, match="version"):
         load_checkpoint(str(wrong_version), SPEC)
+
+
+@pytest.mark.parametrize("fixture", ["checkpoint_v3.jsonl", "checkpoint_v4.jsonl"])
+def test_old_checkpoint_versions_fail_with_actionable_message(fixture):
+    """Journals written by earlier harness versions (fixture files captured
+    from their formats) must fail with a message naming the offending path,
+    both version numbers, and what to do about it — not a spec-mismatch
+    error or a traceback."""
+    path = os.path.join(os.path.dirname(__file__), "data", fixture)
+    old_version = fixture.split("_v")[1].split(".")[0]
+    with pytest.raises(ValueError) as excinfo:
+        load_checkpoint(path, SPEC)
+    assert not isinstance(excinfo.value, CheckpointMismatchError)
+    message = str(excinfo.value)
+    assert fixture in message  # names the offending journal
+    assert f"has version {old_version}" in message
+    assert f"reads version {CHECKPOINT_VERSION}" in message
+    assert "--resume" in message  # says how to recover
 
 
 def test_corrupt_middle_record_is_rejected(tmp_path):

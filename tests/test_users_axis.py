@@ -82,7 +82,7 @@ def test_duplicate_or_invalid_users_rejected():
 def test_grid_dict_records_the_users_axis():
     grid = GRID.grid_dict()
     assert grid["users"] == [5, 100]
-    assert CHECKPOINT_VERSION == 4
+    assert CHECKPOINT_VERSION == 5
 
 
 def test_summaries_follow_cell_order_and_carry_n_users():
